@@ -1,0 +1,349 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 4), plus an ablation study over LDR's
+   optimizations and a Bechamel microbenchmark suite over the simulation
+   kernels.
+
+     dune exec bench/main.exe                 -- reduced scale, everything
+     dune exec bench/main.exe -- table1 fig7  -- selected experiments
+     dune exec bench/main.exe -- --full all   -- paper-scale parameters
+     dune exec bench/main.exe -- --quick all  -- smoke-test scale
+
+   The paper's full scale is 900 s runs x 10 trials x 7 pause times; the
+   default here is a calibrated reduction (shorter runs, fewer trials,
+   trend-defining pause times) whose shapes match; see EXPERIMENTS.md. *)
+
+open Experiment
+module Time = Sim.Time
+
+type scale = {
+  duration : float;  (** seconds of simulated time per run *)
+  trials : int;
+  pauses : float list;  (** pause times, seconds *)
+}
+
+let full_scale =
+  { duration = 900.; trials = 10; pauses = [ 0.; 30.; 60.; 120.; 300.; 600.; 900. ] }
+
+let default_scale = { duration = 120.; trials = 2; pauses = [ 0.; 120.; 900. ] }
+let quick_scale = { duration = 30.; trials = 1; pauses = [ 0.; 900. ] }
+
+let protocols =
+  [ Scenario.ldr; Scenario.aodv; Scenario.dsr; Scenario.olsr ]
+
+let scenario_for ~scale ~nodes ~flows protocol =
+  let base =
+    if nodes = 100 then Scenario.paper_100 protocol
+    else Scenario.paper_50 protocol
+  in
+  base
+  |> Scenario.with_flows flows
+  |> Scenario.with_duration (Time.sec scale.duration)
+
+let point ~scale ~nodes ~flows ~pause protocol =
+  Sweep.trials
+    (scenario_for ~scale ~nodes ~flows protocol
+    |> Scenario.with_pause (Time.sec pause))
+    ~n:scale.trials
+
+let fmt_ci w = Stats.Table.mean_ci ~mean:(Stats.Welford.mean w) ~ci:(Stats.Welford.ci95 w)
+
+let heading title = Printf.printf "\n==== %s ====\n%!" title
+
+(* Optional plot-ready CSV output (--csv DIR). *)
+let csv_dir : string option ref = ref None
+
+let write_csv ~name ~header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let path = Filename.concat dir (name ^ ".csv") in
+      let oc = open_out path in
+      output_string oc (String.concat "," header ^ "\n");
+      List.iter (fun row -> output_string oc (String.concat "," row ^ "\n")) rows;
+      close_out oc;
+      Printf.printf "  (wrote %s)\n%!" path
+
+let csv_point p =
+  [
+    Printf.sprintf "%.6f" (Stats.Welford.mean p.Sweep.delivery_ratio);
+    Printf.sprintf "%.6f" (Stats.Welford.ci95 p.Sweep.delivery_ratio);
+    Printf.sprintf "%.3f" (Stats.Welford.mean p.Sweep.latency_ms);
+    Printf.sprintf "%.4f" (Stats.Welford.mean p.Sweep.network_load);
+    Printf.sprintf "%.4f" (Stats.Welford.mean p.Sweep.rreq_load);
+    Printf.sprintf "%.4f" (Stats.Welford.mean p.Sweep.mean_dest_seqno);
+  ]
+
+let csv_point_header =
+  [ "delivery"; "delivery_ci95"; "latency_ms"; "network_load"; "rreq_load";
+    "mean_dest_seqno" ]
+
+(* ---- Table 1: summary over all pause times, per traffic load ---------- *)
+
+let table1 ~scale () =
+  heading
+    "Table 1: per-protocol summary (mean ± 95% CI over pause times, 50-node scenario)";
+  List.iter
+    (fun flows ->
+      Printf.printf "\n-- %d flows (%g pps aggregate) --\n" flows
+        (float_of_int flows *. 4.);
+      let rows =
+        List.map
+          (fun protocol ->
+            let agg =
+              List.fold_left
+                (fun acc pause ->
+                  Sweep.merge_points acc
+                    (point ~scale ~nodes:50 ~flows ~pause protocol))
+                (Sweep.empty_point ())
+                scale.pauses
+            in
+            [
+              Scenario.protocol_name protocol;
+              fmt_ci agg.Sweep.delivery_ratio;
+              fmt_ci agg.Sweep.latency_ms;
+              fmt_ci agg.Sweep.network_load;
+              fmt_ci agg.Sweep.rreq_load;
+              fmt_ci agg.Sweep.rrep_init;
+              fmt_ci agg.Sweep.rrep_recv;
+            ])
+          protocols
+      in
+      print_endline
+        (Stats.Table.render
+           ~header:
+             [ "protocol"; "delivery"; "latency ms"; "net load"; "rreq load";
+               "rrep init/rreq"; "rrep recv/rreq" ]
+           rows))
+    [ 10; 30 ]
+
+(* ---- Figures 2-5: delivery ratio vs pause time ------------------------- *)
+
+let delivery_figure ~scale ~nodes ~flows title =
+  heading
+    (Printf.sprintf "%s: delivery ratio vs pause time (%d nodes, %d flows)"
+       title nodes flows);
+  let series =
+    List.map
+      (fun protocol ->
+        ( Scenario.protocol_name protocol,
+          List.map (fun pause -> point ~scale ~nodes ~flows ~pause protocol)
+            scale.pauses ))
+      protocols
+  in
+  let rows =
+    List.mapi
+      (fun i pause ->
+        string_of_int (int_of_float pause)
+        :: List.map
+             (fun (_, pts) -> fmt_ci (List.nth pts i).Sweep.delivery_ratio)
+             series)
+      scale.pauses
+  in
+  print_endline
+    (Stats.Table.render ~header:("pause s" :: List.map fst series) rows);
+  List.iter
+    (fun (name, pts) ->
+      write_csv
+        ~name:
+          (Printf.sprintf "%s-%s"
+             (String.map (fun c -> if c = ' ' then '_' else c)
+                (String.lowercase_ascii title))
+             name)
+        ~header:("pause_s" :: csv_point_header)
+        (List.map2
+           (fun pause p -> Printf.sprintf "%g" pause :: csv_point p)
+           scale.pauses pts))
+    series
+
+let fig2 ~scale () = delivery_figure ~scale ~nodes:50 ~flows:10 "Fig 2"
+let fig3 ~scale () = delivery_figure ~scale ~nodes:50 ~flows:30 "Fig 3"
+let fig4 ~scale () = delivery_figure ~scale ~nodes:100 ~flows:10 "Fig 4"
+let fig5 ~scale () = delivery_figure ~scale ~nodes:100 ~flows:30 "Fig 5"
+
+(* ---- Figure 6: the QualNet cross-check (DSR draft 3 vs draft 7) -------- *)
+
+let fig6 ~scale () =
+  heading
+    "Fig 6: Fig-3 cross-check, DSR with (draft 3) and without (draft 7) cache replies";
+  let variants =
+    [
+      ("DSR/cache-replies", Scenario.dsr);
+      ("DSR/no-cache-replies", Scenario.dsr_draft7);
+      ("LDR (reference)", Scenario.ldr);
+    ]
+  in
+  let rows =
+    List.map
+      (fun pause ->
+        string_of_int (int_of_float pause)
+        :: List.map
+             (fun (_, p) ->
+               fmt_ci
+                 (point ~scale ~nodes:50 ~flows:30 ~pause p).Sweep.delivery_ratio)
+             variants)
+      scale.pauses
+  in
+  print_endline
+    (Stats.Table.render ~header:("pause s" :: List.map fst variants) rows)
+
+(* ---- Figure 7: mean destination sequence number ------------------------- *)
+
+let fig7 ~scale () =
+  heading "Fig 7: mean destination sequence number, LDR vs AODV (50 nodes)";
+  List.iter
+    (fun flows ->
+      Printf.printf "\n-- %d flows --\n" flows;
+      let rows =
+        List.map
+          (fun pause ->
+            string_of_int (int_of_float pause)
+            :: List.map
+                 (fun p ->
+                   fmt_ci
+                     (point ~scale ~nodes:50 ~flows ~pause p)
+                       .Sweep.mean_dest_seqno)
+                 [ Scenario.ldr; Scenario.aodv ])
+          scale.pauses
+      in
+      print_endline (Stats.Table.render ~header:[ "pause s"; "LDR"; "AODV" ] rows))
+    [ 10; 30 ]
+
+(* ---- Ablation: LDR's Section-4 optimizations --------------------------- *)
+
+let ablation ~scale () =
+  heading "Ablation: LDR optimizations (50 nodes, 10 flows, pause 0)";
+  let variants =
+    [
+      ("all on (paper)", Ldr.Config.default);
+      ("no multiple-RREPs", { Ldr.Config.default with opt_multiple_rreps = false });
+      ("no request-as-error", { Ldr.Config.default with opt_request_as_error = false });
+      ("no reduced-distance", { Ldr.Config.default with opt_reduced_distance = false });
+      ("no min-lifetime", { Ldr.Config.default with opt_min_lifetime = false });
+      ("no optimal-TTL", { Ldr.Config.default with opt_optimal_ttl = false });
+      ("all off (plain)", Ldr.Config.plain);
+      ("multipath extension", { Ldr.Config.default with multipath = true });
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, config) ->
+        let p = point ~scale ~nodes:50 ~flows:10 ~pause:0. (Scenario.Ldr config) in
+        [
+          name;
+          fmt_ci p.Sweep.delivery_ratio;
+          fmt_ci p.Sweep.latency_ms;
+          fmt_ci p.Sweep.network_load;
+          fmt_ci p.Sweep.rreq_load;
+        ])
+      variants
+  in
+  print_endline
+    (Stats.Table.render
+       ~header:[ "variant"; "delivery"; "latency ms"; "net load"; "rreq load" ]
+       rows)
+
+(* ---- Bechamel microbenchmarks: one Test.make per table/figure kernel ---- *)
+
+let kernel ~nodes ~flows protocol () =
+  let sc =
+    scenario_for
+      ~scale:{ duration = 5.; trials = 1; pauses = [] }
+      ~nodes ~flows protocol
+    |> Scenario.with_pause (Time.sec 0.)
+  in
+  ignore (Runner.run sc)
+
+let bechamel_suite () =
+  heading "Bechamel: per-experiment simulation kernels (5 simulated seconds each)";
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    [
+      Test.make ~name:"table1-kernel-ldr-10f"
+        (Staged.stage (kernel ~nodes:50 ~flows:10 Scenario.ldr));
+      Test.make ~name:"fig2-kernel-aodv-10f"
+        (Staged.stage (kernel ~nodes:50 ~flows:10 Scenario.aodv));
+      Test.make ~name:"fig3-kernel-ldr-30f"
+        (Staged.stage (kernel ~nodes:50 ~flows:30 Scenario.ldr));
+      Test.make ~name:"fig4-kernel-ldr-100n"
+        (Staged.stage (kernel ~nodes:100 ~flows:10 Scenario.ldr));
+      Test.make ~name:"fig5-kernel-aodv-100n-30f"
+        (Staged.stage (kernel ~nodes:100 ~flows:30 Scenario.aodv));
+      Test.make ~name:"fig6-kernel-dsr-30f"
+        (Staged.stage (kernel ~nodes:50 ~flows:30 Scenario.dsr));
+      Test.make ~name:"fig7-kernel-olsr-10f"
+        (Staged.stage (kernel ~nodes:50 ~flows:10 Scenario.olsr));
+    ]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Bechamel.Time.second 2.0) ~kde:None () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      let stats = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              Printf.printf "  %-30s %10.2f ms/run\n%!" name (est /. 1e6)
+          | Some _ | None -> Printf.printf "  %-30s (no estimate)\n%!" name)
+        stats)
+    tests
+
+(* ---- Driver -------------------------------------------------------------- *)
+
+let all_experiments =
+  [
+    ("table1", table1);
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("ablation", ablation);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let scale = ref default_scale in
+  let selected = ref [] in
+  let run_bechamel = ref false in
+  List.iter
+    (fun a ->
+      match a with
+      | "--full" -> scale := full_scale
+      | "--quick" -> scale := quick_scale
+      | a when String.length a > 6 && String.sub a 0 6 = "--csv=" ->
+          csv_dir := Some (String.sub a 6 (String.length a - 6))
+      | "all" ->
+          selected := List.map fst all_experiments;
+          run_bechamel := true
+      | "bechamel" -> run_bechamel := true
+      | name when List.mem_assoc name all_experiments ->
+          selected := !selected @ [ name ]
+      | other ->
+          Printf.eprintf
+            "unknown argument %S (expected: table1 fig2..fig7 ablation bechamel all --full --quick --csv=DIR)\n"
+            other;
+          exit 2)
+    args;
+  let selected, run_bechamel =
+    if !selected = [] && not !run_bechamel then
+      (List.map fst all_experiments, true)
+    else (!selected, !run_bechamel)
+  in
+  let scale = !scale in
+  Printf.printf
+    "Reproduction scale: %g s simulated, %d trial(s), pause times [%s]\n"
+    scale.duration scale.trials
+    (String.concat "; " (List.map (Printf.sprintf "%g") scale.pauses));
+  Printf.printf "(paper scale: 900 s, 10 trials, 7 pause times -- pass --full)\n%!";
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun name -> (List.assoc name all_experiments) ~scale ()) selected;
+  if run_bechamel then bechamel_suite ();
+  Printf.printf "\nTotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

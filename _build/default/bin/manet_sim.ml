@@ -1,0 +1,201 @@
+(* Command-line front end for the MANET simulator.
+
+     manet_sim run   --protocol ldr --nodes 50 --flows 10 --pause 30 ...
+     manet_sim sweep --protocol aodv --pauses 0,120,900 --trials 3 ...
+
+   `run` executes one scenario and prints its metrics; `sweep` produces a
+   delivery-ratio series over pause times, like the paper's figures. *)
+
+open Cmdliner
+open Experiment
+module Time = Sim.Time
+
+let protocol_conv =
+  let parse = function
+    | "ldr" -> Ok Scenario.ldr
+    | "ldr-plain" -> Ok (Scenario.Ldr Ldr.Config.plain)
+    | "aodv" -> Ok Scenario.aodv
+    | "dsr" -> Ok Scenario.dsr
+    | "dsr-draft7" -> Ok Scenario.dsr_draft7
+    | "olsr" -> Ok Scenario.olsr
+    | s -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))
+  in
+  let print fmt p = Format.pp_print_string fmt (Scenario.protocol_name p) in
+  Arg.conv (parse, print)
+
+let protocol =
+  Arg.(
+    value
+    & opt protocol_conv Scenario.ldr
+    & info [ "p"; "protocol" ] ~docv:"PROTO"
+        ~doc:"Routing protocol: ldr, ldr-plain, aodv, dsr, dsr-draft7, olsr.")
+
+let nodes =
+  Arg.(value & opt int 50 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let width =
+  Arg.(value & opt float 1500. & info [ "width" ] ~docv:"M" ~doc:"Terrain width (m).")
+
+let height =
+  Arg.(value & opt float 300. & info [ "height" ] ~docv:"M" ~doc:"Terrain height (m).")
+
+let flows =
+  Arg.(value & opt int 10 & info [ "f"; "flows" ] ~docv:"K" ~doc:"Concurrent CBR flows.")
+
+let pps =
+  Arg.(value & opt float 4. & info [ "pps" ] ~docv:"R" ~doc:"Packets per second per flow.")
+
+let pause =
+  Arg.(
+    value & opt float 0.
+    & info [ "pause" ] ~docv:"S" ~doc:"Random-waypoint pause time (s).")
+
+let speed_max =
+  Arg.(
+    value & opt float 20.
+    & info [ "speed" ] ~docv:"V" ~doc:"Maximum node speed (m/s); 0 = static.")
+
+let duration =
+  Arg.(
+    value & opt float 120.
+    & info [ "d"; "duration" ] ~docv:"S" ~doc:"Simulated seconds.")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"I" ~doc:"Random seed.")
+
+let audit =
+  Arg.(
+    value & flag
+    & info [ "audit-loops" ]
+        ~doc:"Audit the successor graph for loops at every routing-table write.")
+
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Print a per-event run trace (transmissions, deliveries, drops, \
+              link failures) to stderr.")
+
+let trials =
+  Arg.(value & opt int 3 & info [ "trials" ] ~docv:"T" ~doc:"Trials per point (sweep).")
+
+let pauses =
+  Arg.(
+    value
+    & opt (list float) [ 0.; 120.; 900. ]
+    & info [ "pauses" ] ~docv:"LIST" ~doc:"Comma-separated pause times (sweep).")
+
+let scenario protocol nodes width height flows pps pause speed_max duration seed
+    audit =
+  {
+    Scenario.label = "cli";
+    num_nodes = nodes;
+    terrain = Geom.Terrain.create ~width ~height;
+    placement = Scenario.Uniform;
+    speed_min = (if speed_max > 0. then 1. else 0.);
+    speed_max;
+    pause = Time.sec pause;
+    duration = Time.sec duration;
+    traffic =
+      {
+        Traffic.num_flows = flows;
+        packets_per_sec = pps;
+        payload_bytes = 512;
+        mean_flow_duration = Time.sec 100.;
+        startup_window = Time.sec 10.;
+      };
+    protocol;
+    net = Net.Params.default;
+    seed;
+    audit_loops = audit;
+  }
+
+let print_outcome (o : Runner.outcome) =
+  let m = o.metrics in
+  Format.printf "originated        %d@." (Metrics.originated m);
+  Format.printf "delivered         %d (+%d duplicate copies)@."
+    (Metrics.delivered m) (Metrics.duplicates m);
+  Format.printf "delivery ratio    %.4f@." (Metrics.delivery_ratio m);
+  Format.printf "mean latency      %.2f ms (median %.2f, p95 %.2f)@."
+    (Metrics.mean_latency_ms m) (Metrics.median_latency_ms m)
+    (Metrics.p95_latency_ms m);
+  Format.printf "mean path length  %.2f hops@." (Metrics.mean_hops m);
+  Format.printf "network load      %.3f control tx / delivered@."
+    (Metrics.network_load m);
+  Format.printf "rreq load         %.3f@." (Metrics.rreq_load m);
+  Format.printf "control tx        %d@." (Metrics.control_transmissions m);
+  List.iter
+    (fun (kind, count) -> Format.printf "  %-6s %d@." kind count)
+    (Metrics.control_by_kind m);
+  Format.printf "data tx (hopwise) %d@." (Metrics.data_transmissions m);
+  Format.printf "frames on air     %d@." o.transmissions;
+  Format.printf "ifq drops         %d@." o.mac_queue_drops;
+  Format.printf "link failures     %d@." o.mac_unicast_failures;
+  List.iter
+    (fun (reason, count) -> Format.printf "drop %-16s %d@." reason count)
+    (Metrics.drops_by_reason m);
+  Format.printf "mean dest seqno   %.2f@." (Metrics.mean_dest_seqno m);
+  Format.printf "loop violations   %d@." (Metrics.loop_violations m);
+  Format.printf "events processed  %d@." o.events_processed
+
+let run_cmd =
+  let action protocol nodes width height flows pps pause speed_max duration
+      seed audit trace =
+    if trace then Trace.enable ();
+    let sc =
+      scenario protocol nodes width height flows pps pause speed_max duration
+        seed audit
+    in
+    Format.printf "%s: %d nodes on %.0fx%.0fm, %d flows @ %g pps, pause %gs, %gs@."
+      (Scenario.protocol_name protocol)
+      nodes width height flows pps pause duration;
+    print_outcome (Runner.run sc)
+  in
+  let term =
+    Term.(
+      const action $ protocol $ nodes $ width $ height $ flows $ pps $ pause
+      $ speed_max $ duration $ seed $ audit $ trace)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one scenario and print its metrics.") term
+
+let sweep_cmd =
+  let action protocol nodes width height flows pps speed_max duration seed
+      trials pauses =
+    let rows =
+      List.map
+        (fun pause ->
+          let sc =
+            scenario protocol nodes width height flows pps pause speed_max
+              duration seed false
+          in
+          let p = Sweep.trials sc ~n:trials in
+          [
+            Printf.sprintf "%g" pause;
+            Stats.Table.mean_ci
+              ~mean:(Stats.Welford.mean p.Sweep.delivery_ratio)
+              ~ci:(Stats.Welford.ci95 p.Sweep.delivery_ratio);
+            Stats.Table.mean_ci
+              ~mean:(Stats.Welford.mean p.Sweep.latency_ms)
+              ~ci:(Stats.Welford.ci95 p.Sweep.latency_ms);
+            Stats.Table.mean_ci
+              ~mean:(Stats.Welford.mean p.Sweep.network_load)
+              ~ci:(Stats.Welford.ci95 p.Sweep.network_load);
+          ])
+        pauses
+    in
+    print_endline
+      (Stats.Table.render
+         ~header:[ "pause s"; "delivery"; "latency ms"; "net load" ]
+         rows)
+  in
+  let term =
+    Term.(
+      const action $ protocol $ nodes $ width $ height $ flows $ pps
+      $ speed_max $ duration $ seed $ trials $ pauses)
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep pause times and print a figure-style series.")
+    term
+
+let () =
+  let doc = "MANET routing simulator (LDR / AODV / DSR / OLSR)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "manet_sim" ~doc) [ run_cmd; sweep_cmd ]))

@@ -1,0 +1,1 @@
+examples/figure1.ml: Array Experiment Format Ldr List Node_id Option Packets Seqnum Sim

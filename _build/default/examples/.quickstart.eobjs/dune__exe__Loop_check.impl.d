@@ -1,0 +1,1 @@
+examples/loop_check.ml: Experiment Format Geom List Metrics Net Runner Scenario Sim Traffic

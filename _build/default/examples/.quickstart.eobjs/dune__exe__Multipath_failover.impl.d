@@ -1,0 +1,1 @@
+examples/multipath_failover.ml: Experiment Format Geom List Metrics Net Runner Scenario Sim Stats Sweep Traffic

@@ -1,0 +1,1 @@
+examples/multipath_failover.mli:

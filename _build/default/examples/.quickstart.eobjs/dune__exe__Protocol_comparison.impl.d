@@ -1,0 +1,1 @@
+examples/protocol_comparison.ml: Experiment Geom List Metrics Net Printf Runner Scenario Sim Stats Traffic

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Experiment Format Geom List Metrics Net Runner Scenario Sim Traffic

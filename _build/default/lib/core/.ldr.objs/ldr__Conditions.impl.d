@@ -1,0 +1,1 @@
+lib/core/conditions.ml: Packets Seqnum

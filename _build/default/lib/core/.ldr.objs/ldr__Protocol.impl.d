@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Conditions Config Data_msg Engine Ldr_msg List Net Node_id Option Packets Payload Rng Route_table Routing Seqnum Sim Stdlib Time

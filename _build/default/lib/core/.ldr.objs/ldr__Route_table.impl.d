@@ -1,0 +1,1 @@
+lib/core/route_table.ml: Conditions Engine List Node_id Packets Seqnum Sim Stdlib Time

@@ -1,0 +1,1 @@
+lib/core/route_table.mli: Conditions Node_id Packets Seqnum Sim

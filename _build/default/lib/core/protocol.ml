@@ -1,0 +1,578 @@
+open Sim
+open Packets
+module RA = Routing.Agent
+
+let name = "ldr"
+
+(* Engaged-node state cached per computation (origin, rreq_id). *)
+type engaged = {
+  last_hop : Node_id.t;
+  mutable best_forwarded : (Seqnum.t * int) option;
+      (* strongest (sn, dist) advertisement relayed for this computation *)
+}
+
+(* Active-state bookkeeping at the computation origin (Procedure 1). *)
+type pending = {
+  mutable p_ttl : int;
+  mutable p_diameter_tries : int;
+  mutable p_timer : Engine.handle option;
+}
+
+type state = {
+  ctx : RA.ctx;
+  cfg : Config.t;
+  table : Route_table.t;
+  cache : engaged Routing.Rreq_cache.t;
+  buffer : Routing.Packet_buffer.t;
+  mutable own_sn : Seqnum.t;
+  mutable own_increments : int;
+  mutable next_rreq_id : int;
+  pending : pending Node_id.Table.t;
+}
+
+let now (t : state) = Engine.now t.ctx.engine
+let clock_stamp t = int_of_float (Time.to_sec (now t))
+
+let increment_own t =
+  let now_stamp = Stdlib.max (clock_stamp t) (t.own_sn.Seqnum.stamp + 1) in
+  t.own_sn <-
+    Seqnum.increment ~counter_limit:t.cfg.seqnum_counter_limit ~now_stamp
+      t.own_sn;
+  t.own_increments <- t.own_increments + 1
+
+(* The reduced-distance optimization: any answering bound no greater than
+   the feasible distance is sound; the paper uses floor(0.8 fd), min 1. *)
+let reduce t d =
+  if t.cfg.opt_reduced_distance && d < Conditions.infinity then
+    Stdlib.max 1 (int_of_float (t.cfg.reduced_distance_factor *. float_of_int d))
+  else d
+
+let min_lifetime t =
+  Time.scale t.cfg.active_route_timeout t.cfg.min_lifetime_fraction
+
+(* Can this node's route answer, given the minimum-lifetime rule? *)
+let answerable_entry t dst =
+  match Route_table.active t.table dst with
+  | None -> None
+  | Some e ->
+      if
+        t.cfg.opt_min_lifetime
+        && Time.(Route_table.remaining_lifetime t.table e < min_lifetime t)
+      then None
+      else Some e
+
+let send_ldr t ~dst msg = t.ctx.send ~dst (Payload.Ldr msg)
+
+let broadcast_rerr t unreachable =
+  if unreachable <> [] then
+    send_ldr t ~dst:Net.Frame.Broadcast (Ldr_msg.Rerr { unreachable })
+
+(* Learn from the advertisement part of a message; returns whether the
+   route is now active. *)
+let learn_advert t ~dst ~adv_sn ~adv_dist ~via ~lifetime =
+  if Node_id.equal dst t.ctx.id then `Refreshed
+  else begin
+    let lc = t.cfg.link_cost t.ctx.id via in
+    let verdict =
+      Route_table.apply_advert t.table ~lc ~dst ~adv_sn ~adv_dist ~via
+        ~lifetime ()
+    in
+    (match verdict with
+    | `Installed -> t.ctx.table_changed ()
+    | `Refreshed | `Rejected -> ());
+    verdict
+  end
+
+let forward_data t (e : Route_table.entry) msg =
+  match e.next_hop with
+  | None -> assert false
+  | Some nh ->
+      Route_table.refresh t.table e ~lifetime:t.cfg.active_route_timeout;
+      t.ctx.send ~dst:(Net.Frame.Unicast nh) (Payload.Data (Data_msg.hop msg))
+
+let flush_buffer t dst =
+  match Route_table.active t.table dst with
+  | None -> ()
+  | Some e ->
+      List.iter (fun msg -> forward_data t e msg)
+        (Routing.Packet_buffer.take t.buffer dst)
+
+(* ---- Procedure 1: initiate solicitation ------------------------------ *)
+
+let fresh_rreq_id t =
+  t.next_rreq_id <- t.next_rreq_id + 1;
+  t.next_rreq_id
+
+let request_invariants t dst =
+  match Route_table.find t.table dst with
+  | None -> (None, Conditions.infinity)
+  | Some e -> (Some e.sn, e.fd)
+
+let rec issue_rreq t dst pend =
+  let dst_sn, fd = request_invariants t dst in
+  let answer_dist = reduce t fd in
+  let rreq =
+    {
+      Ldr_msg.dst;
+      dst_sn;
+      rreq_id = fresh_rreq_id t;
+      origin = t.ctx.id;
+      origin_sn = t.own_sn;
+      fd;
+      answer_dist;
+      dist = 0;
+      ttl = pend.p_ttl;
+      reset = false;
+      no_reverse = false;
+      unicast_probe = false;
+    }
+  in
+  t.ctx.event "rreq_init";
+  send_ldr t ~dst:Net.Frame.Broadcast (Ldr_msg.Rreq rreq);
+  let timeout =
+    Routing.Discovery.attempt_timeout t.cfg.ring ~ttl:pend.p_ttl
+  in
+  pend.p_timer <-
+    Some (Engine.after t.ctx.engine timeout (fun () -> attempt_expired t dst pend))
+
+and attempt_expired t dst pend =
+  pend.p_timer <- None;
+  if Route_table.active t.table dst <> None then finish_discovery t dst
+  else begin
+    let ring = t.cfg.ring in
+    match Routing.Discovery.next_ttl ring ~prev:(Some pend.p_ttl) with
+    | Some ttl ->
+        pend.p_ttl <- ttl;
+        issue_rreq t dst pend
+    | None ->
+        if pend.p_diameter_tries < ring.max_retries then begin
+          pend.p_diameter_tries <- pend.p_diameter_tries + 1;
+          pend.p_ttl <- ring.net_diameter;
+          issue_rreq t dst pend
+        end
+        else begin
+          (* Procedure 1: final attempt failed; report and drop. *)
+          Node_id.Table.remove t.pending dst;
+          Routing.Packet_buffer.drop_all t.buffer dst
+            ~reason:"discovery-failed"
+        end
+  end
+
+and finish_discovery t dst =
+  (match Node_id.Table.find_opt t.pending dst with
+  | Some pend -> (
+      match pend.p_timer with
+      | Some h -> Engine.cancel h
+      | None -> ())
+  | None -> ());
+  Node_id.Table.remove t.pending dst;
+  flush_buffer t dst
+
+let start_discovery t dst =
+  if not (Node_id.Table.mem t.pending dst) then begin
+    let first_ttl =
+      let ring = t.cfg.ring in
+      let default_ttl =
+        match Routing.Discovery.next_ttl ring ~prev:None with
+        | Some ttl -> ttl
+        | None -> ring.net_diameter
+      in
+      if t.cfg.opt_optimal_ttl then
+        match Route_table.find t.table dst with
+        | Some e when e.dist < Conditions.infinity ->
+            (* Optimal-TTL optimization: TTL = D - FD + LOCAL_ADD_TTL. *)
+            let fd_req = reduce t e.fd in
+            Stdlib.min ring.net_diameter
+              (Stdlib.max default_ttl (e.dist - fd_req + t.cfg.local_add_ttl))
+        | Some _ | None -> default_ttl
+      else default_ttl
+    in
+    let pend = { p_ttl = first_ttl; p_diameter_tries = 0; p_timer = None } in
+    Node_id.Table.replace t.pending dst pend;
+    issue_rreq t dst pend
+  end
+
+(* ---- Data plane ------------------------------------------------------- *)
+
+let origin_data t msg =
+  if Node_id.equal msg.Data_msg.dst t.ctx.id then t.ctx.deliver msg
+  else
+    let msg = { msg with Data_msg.ttl = t.cfg.data_ttl } in
+    match Route_table.active t.table msg.Data_msg.dst with
+    | Some e -> forward_data t e msg
+    | None ->
+        Routing.Packet_buffer.push t.buffer msg;
+        start_discovery t msg.Data_msg.dst
+
+let handle_data t msg ~from:_ =
+  if Node_id.equal msg.Data_msg.dst t.ctx.id then t.ctx.deliver msg
+  else
+    match Data_msg.decr_ttl msg with
+    | None -> t.ctx.drop_data msg ~reason:"ttl-expired"
+    | Some msg -> (
+        match Route_table.active t.table msg.Data_msg.dst with
+        | Some e -> forward_data t e msg
+        | None ->
+            (* Mid-path with no route: shed the packet and warn
+               upstream. *)
+            t.ctx.drop_data msg ~reason:"no-route";
+            let sn =
+              Option.map (fun (e : Route_table.entry) -> e.sn)
+                (Route_table.find t.table msg.Data_msg.dst)
+            in
+            broadcast_rerr t [ (msg.Data_msg.dst, sn) ])
+
+(* ---- Procedure 2: relay solicitation (Eqs. 5-8) ----------------------- *)
+
+(* Fold this node's stored invariants into a solicitation it relays;
+   [from] is the neighbor the solicitation arrived over, whose link cost
+   extends the measured distance. *)
+let update_invariants t ~from (r : Ldr_msg.rreq) =
+  let r = { r with Ldr_msg.dist = r.dist + t.cfg.link_cost t.ctx.id from } in
+  match Route_table.find t.table r.dst with
+  | None -> r
+  | Some e ->
+      if Conditions.sn_gt_opt e.sn r.dst_sn then
+        (* Eq 5 raises the number, Eq 6 takes our fd, Eq 8 clears T: any
+           reply now acts as a path reset. *)
+        {
+          r with
+          dst_sn = Some e.sn;
+          fd = e.fd;
+          answer_dist = reduce t e.fd;
+          reset = false;
+        }
+      else if Conditions.sn_eq_opt e.sn r.dst_sn then
+        (* Eq 6 running minimum; Eq 8: T set unless we satisfy FDC. *)
+        {
+          r with
+          fd = Stdlib.min e.fd r.fd;
+          answer_dist = Stdlib.min r.answer_dist (reduce t e.fd);
+          reset = (if e.fd < r.fd then r.reset else true);
+        }
+      else (* Our number is stale: no constraint on the requested one. *)
+        r
+
+let destination_reply t (r : Ldr_msg.rreq) ~last_hop =
+  (* Only the destination may raise its own number (the reset). *)
+  if r.reset && not (Conditions.sn_gt_opt t.own_sn r.dst_sn) then
+    increment_own t;
+  let rrep =
+    {
+      Ldr_msg.dst = t.ctx.id;
+      dst_sn = t.own_sn;
+      origin = r.origin;
+      rreq_id = r.rreq_id;
+      dist = 0;
+      lifetime = t.cfg.my_route_timeout;
+      rrep_no_reverse = r.no_reverse;
+    }
+  in
+  t.ctx.event "rrep_init";
+  send_ldr t ~dst:(Net.Frame.Unicast last_hop) (Ldr_msg.Rrep rrep)
+
+let intermediate_reply t (e : Route_table.entry) (r : Ldr_msg.rreq) ~last_hop =
+  let rrep =
+    {
+      Ldr_msg.dst = r.dst;
+      dst_sn = e.sn;
+      origin = r.origin;
+      rreq_id = r.rreq_id;
+      dist = e.dist;
+      lifetime = Route_table.remaining_lifetime t.table e;
+      rrep_no_reverse = r.no_reverse;
+    }
+  in
+  t.ctx.event "rrep_init";
+  Routing.Rreq_cache.update t.cache ~origin:r.origin ~rreq_id:r.rreq_id
+    (fun eng ->
+      eng.best_forwarded <- Some (e.sn, e.dist);
+      eng);
+  send_ldr t ~dst:(Net.Frame.Unicast last_hop) (Ldr_msg.Rrep rrep)
+
+(* Convert the flood into a unicast RREQ that must reach the destination
+   (the T-bit reset path), or continue an existing unicast probe. *)
+let forward_unicast_probe t ~from (e : Route_table.entry) (r : Ldr_msg.rreq) =
+  match e.next_hop with
+  | None -> assert false
+  | Some nh ->
+      let r = update_invariants t ~from r in
+      let ttl =
+        (* Must be able to reach the destination even if the ring search
+           would have died out (Section 2.2). *)
+        Stdlib.max (r.ttl - 1) (e.dist + t.cfg.local_add_ttl)
+      in
+      send_ldr t ~dst:(Net.Frame.Unicast nh)
+        (Ldr_msg.Rreq { r with ttl; unicast_probe = true })
+
+let relay_broadcast t ~from (r : Ldr_msg.rreq) ~reverse_ok =
+  if r.ttl > 1 then begin
+    let r = update_invariants t ~from r in
+    let r =
+      { r with Ldr_msg.ttl = r.ttl - 1; no_reverse = r.no_reverse || not reverse_ok }
+    in
+    (* Per-hop rebroadcast jitter decorrelates the flood. *)
+    let delay = Rng.uniform_time t.ctx.rng t.cfg.flood_jitter in
+    ignore
+      (Engine.after t.ctx.engine delay (fun () ->
+           send_ldr t ~dst:Net.Frame.Broadcast (Ldr_msg.Rreq r)))
+  end
+
+let request_as_error t (r : Ldr_msg.rreq) ~from =
+  (* Our next hop toward D is asking for D: it must have lost its route,
+     or it would have answered (its distance is ours minus one). *)
+  match Route_table.active t.table r.dst with
+  | Some e
+    when e.next_hop = Some from
+         && Conditions.sn_ge_opt e.sn r.dst_sn
+         && r.answer_dist > e.dist - 1 ->
+      Route_table.invalidate t.table r.dst;
+      t.ctx.table_changed ()
+  | Some _ | None -> ()
+
+let handle_rreq t (r : Ldr_msg.rreq) ~from =
+  if Node_id.equal r.origin t.ctx.id then ()
+  else if Routing.Rreq_cache.mem t.cache ~origin:r.origin ~rreq_id:r.rreq_id
+  then () (* not passive for this computation: silently ignore *)
+  else begin
+    (* Become engaged; remember the reverse hop for the reply path. *)
+    Routing.Rreq_cache.add t.cache ~origin:r.origin ~rreq_id:r.rreq_id
+      { last_hop = from; best_forwarded = None };
+    (* The RREQ doubles as an advertisement for its origin (unless the
+       N bit says the reverse chain already broke upstream). *)
+    let reverse_ok =
+      if r.no_reverse then Route_table.active t.table r.origin <> None
+      else begin
+        match
+          learn_advert t ~dst:r.origin ~adv_sn:r.origin_sn ~adv_dist:r.dist
+            ~via:from ~lifetime:t.cfg.active_route_timeout
+        with
+        | `Installed | `Refreshed -> true
+        | `Rejected -> Route_table.active t.table r.origin <> None
+      end
+    in
+    if t.cfg.opt_request_as_error then request_as_error t r ~from;
+    if Node_id.equal r.dst t.ctx.id then destination_reply t r ~last_hop:from
+    else if r.unicast_probe then begin
+      (* D bit: carry the request straight to the destination. *)
+      match Route_table.active t.table r.dst with
+      | Some e when r.ttl > 1 -> forward_unicast_probe t ~from e r
+      | Some _ | None -> ()
+    end
+    else begin
+      let own = Route_table.invariants t.table r.dst in
+      match answerable_entry t r.dst with
+      | Some e
+        when Conditions.sdc ~own ~active:true ~req_sn:r.dst_sn
+               ~answer_dist:r.answer_dist ~reset:r.reset ->
+          intermediate_reply t e r ~last_hop:from
+      | Some e
+        when r.reset
+             && Conditions.sdc_ignoring_reset ~own ~active:true
+                  ~req_sn:r.dst_sn ~answer_dist:r.answer_dist ->
+          (* First node able to answer but for the T bit: unicast the
+             request to the destination for a path reset (Section 2.2). *)
+          forward_unicast_probe t ~from e r
+      | Some _ | None -> relay_broadcast t ~from r ~reverse_ok
+    end
+  end
+
+(* ---- Procedures 3-4: accept and relay advertisements ------------------ *)
+
+let n_bit_probe t dst =
+  (* The reply said some relay lacked a reverse route to us: raise our own
+     number and probe along the forward path so the next advertisements
+     for us are accepted everywhere (Section 2.2, D bit). *)
+  match Route_table.active t.table dst with
+  | None -> ()
+  | Some e -> (
+      match e.next_hop with
+      | None -> ()
+      | Some nh ->
+          increment_own t;
+          let rreq =
+            {
+              Ldr_msg.dst;
+              dst_sn = Some e.sn;
+              rreq_id = fresh_rreq_id t;
+              origin = t.ctx.id;
+              origin_sn = t.own_sn;
+              fd = e.fd;
+              answer_dist = reduce t e.fd;
+              dist = 0;
+              ttl = e.dist + t.cfg.local_add_ttl;
+              reset = false;
+              no_reverse = false;
+              unicast_probe = true;
+            }
+          in
+          t.ctx.event "rreq_init";
+          send_ldr t ~dst:(Net.Frame.Unicast nh) (Ldr_msg.Rreq rreq))
+
+let handle_rrep t (r : Ldr_msg.rrep) ~from =
+  let verdict =
+    learn_advert t ~dst:r.dst ~adv_sn:r.dst_sn ~adv_dist:r.dist ~via:from
+      ~lifetime:r.lifetime
+  in
+  let feasible = verdict <> `Rejected in
+  if feasible then t.ctx.event "rrep_usable_recv";
+  (* Any node whose own computation for this destination is now satisfied
+     terminates it — relays can be active for a destination while engaged
+     in other computations for it. *)
+  if
+    Node_id.Table.mem t.pending r.dst
+    && Route_table.active t.table r.dst <> None
+  then finish_discovery t r.dst;
+  if Node_id.equal r.origin t.ctx.id then begin
+    if feasible && r.rrep_no_reverse then n_bit_probe t r.dst
+  end
+  else begin
+    (* Procedure 4: relay along the computation's reverse path, always
+       re-advertising from our own (possibly stronger) invariants. *)
+    match
+      Routing.Rreq_cache.find t.cache ~origin:r.origin ~rreq_id:r.rreq_id
+    with
+    | None -> () (* never engaged, or engagement expired *)
+    | Some eng -> (
+        match Route_table.active t.table r.dst with
+        | None -> () (* stronger invariants but no valid route: discard *)
+        | Some e ->
+            let stronger =
+              match eng.best_forwarded with
+              | None -> true
+              | Some (bsn, bdist) ->
+                  t.cfg.opt_multiple_rreps
+                  && (Seqnum.(e.sn > bsn)
+                     || (Seqnum.equal e.sn bsn && e.dist < bdist))
+            in
+            if stronger then begin
+              eng.best_forwarded <- Some (e.sn, e.dist);
+              let r' =
+                {
+                  r with
+                  Ldr_msg.dst_sn = e.sn;
+                  dist = e.dist;
+                  lifetime = Route_table.remaining_lifetime t.table e;
+                }
+              in
+              send_ldr t ~dst:(Net.Frame.Unicast eng.last_hop)
+                (Ldr_msg.Rrep r')
+            end)
+  end
+
+(* ---- Route maintenance ------------------------------------------------ *)
+
+let handle_rerr t unreachable ~from =
+  let changed = ref false in
+  let invalidated =
+    List.filter_map
+      (fun (dst, _sn) ->
+        match Route_table.fail_route t.table dst ~via:from with
+        | `Invalidated ->
+            changed := true;
+            Some
+              ( dst,
+                Option.map (fun (e : Route_table.entry) -> e.sn)
+                  (Route_table.find t.table dst) )
+        | `Promoted ->
+            (* The error stops here: the alternate keeps us reachable. *)
+            changed := true;
+            t.ctx.event "alternate_promoted";
+            None
+        | `Untouched -> None)
+      unreachable
+  in
+  if !changed then t.ctx.table_changed ();
+  broadcast_rerr t invalidated
+
+let link_failure t payload ~next_hop =
+  let invalidated, promoted = Route_table.invalidate_via t.table next_hop in
+  if invalidated <> [] || promoted <> [] then t.ctx.table_changed ();
+  List.iter (fun _ -> t.ctx.event "alternate_promoted") promoted;
+  (match payload with
+  | Payload.Data msg -> (
+      (* A promoted alternate carries the packet on immediately; failing
+         that, the origin holds it and rediscovers, relays shed it. *)
+      match Route_table.active t.table msg.Data_msg.dst with
+      | Some e -> forward_data t e msg
+      | None ->
+          if Node_id.equal msg.Data_msg.src t.ctx.id then begin
+            Routing.Packet_buffer.push t.buffer msg;
+            start_discovery t msg.Data_msg.dst
+          end
+          else t.ctx.drop_data msg ~reason:"link-failure")
+  | Payload.Ldr _ | Payload.Aodv _ | Payload.Dsr _ | Payload.Olsr _ -> ());
+  let with_sns =
+    List.map
+      (fun dst ->
+        ( dst,
+          Option.map (fun (e : Route_table.entry) -> e.sn)
+            (Route_table.find t.table dst) ))
+      invalidated
+  in
+  broadcast_rerr t with_sns
+
+(* ---- Wiring ----------------------------------------------------------- *)
+
+let recv t payload ~from =
+  match payload with
+  | Payload.Data msg -> handle_data t msg ~from
+  | Payload.Ldr (Ldr_msg.Rreq r) -> handle_rreq t r ~from
+  | Payload.Ldr (Ldr_msg.Rrep r) -> handle_rrep t r ~from
+  | Payload.Ldr (Ldr_msg.Rerr { unreachable }) ->
+      handle_rerr t unreachable ~from
+  | Payload.Aodv _ | Payload.Dsr _ | Payload.Olsr _ -> ()
+
+let make ?(config = Config.default) (ctx : RA.ctx) =
+  let t =
+    {
+      ctx;
+      cfg = config;
+      table = Route_table.create ~multipath:config.multipath ~engine:ctx.engine ();
+      cache =
+        Routing.Rreq_cache.create ~engine:ctx.engine
+          ~ttl:config.rreq_cache_ttl;
+      buffer =
+        Routing.Packet_buffer.create ~engine:ctx.engine
+          ~capacity:config.buffer_capacity ~max_age:config.buffer_max_age
+          ~on_drop:ctx.drop_data;
+      own_sn = Seqnum.initial ~stamp:0;
+      own_increments = 0;
+      next_rreq_id = 0;
+      pending = Node_id.Table.create 8;
+    }
+  in
+  let agent =
+    {
+      RA.origin_data = (fun msg -> origin_data t msg);
+      recv = (fun payload ~from -> recv t payload ~from);
+      overheard = (fun _ ~from:_ ~dst:_ -> ());
+      link_failure = (fun payload ~next_hop -> link_failure t payload ~next_hop);
+      start = (fun () -> ());
+      successor =
+        (fun dst ->
+          if Node_id.equal dst ctx.id then None
+          else Route_table.successor t.table dst);
+      own_seqno = (fun () -> float_of_int t.own_increments);
+    }
+  in
+  (agent, t)
+
+let factory ?config () ctx = fst (make ?config ctx)
+
+type debug = {
+  table : Route_table.t;
+  own_sn : unit -> Seqnum.t;
+  pending_discoveries : unit -> Node_id.t list;
+}
+
+let factory_with_debug ?config () ctx =
+  let agent, t = make ?config ctx in
+  ( agent,
+    {
+      table = t.table;
+      own_sn = (fun () -> t.own_sn);
+      pending_discoveries =
+        (fun () ->
+          Node_id.Table.fold (fun dst _ acc -> dst :: acc) t.pending []);
+    } )

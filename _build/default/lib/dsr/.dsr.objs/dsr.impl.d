@@ -1,0 +1,1 @@
+lib/dsr/dsr.ml: Data_msg Dsr_msg Engine List Net Node_id Packets Payload Rng Route_cache Routing Sim Time

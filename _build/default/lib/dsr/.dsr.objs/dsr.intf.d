@@ -1,0 +1,1 @@
+lib/dsr/dsr.mli: Route_cache Routing Sim

@@ -1,0 +1,1 @@
+lib/dsr/route_cache.ml: Engine List Node_id Packets Sim Time

@@ -1,0 +1,1 @@
+lib/dsr/route_cache.mli: Node_id Packets Sim

@@ -1,0 +1,391 @@
+open Sim
+open Packets
+module RA = Routing.Agent
+module Route_cache = Route_cache
+
+let name = "dsr"
+
+type config = {
+  cache_capacity : int;
+  cache_ttl : Time.t;
+  nonprop_timeout : Time.t;
+  flood_timeout : Time.t;
+  max_flood_attempts : int;
+  buffer_capacity : int;
+  buffer_max_age : Time.t;
+  flood_jitter : Time.t;
+  max_salvage : int;
+  reply_from_cache : bool;
+  route_shortening : bool;
+}
+
+let default_config =
+  {
+    cache_capacity = 64;
+    cache_ttl = Time.sec 300.;
+    nonprop_timeout = Time.ms 100.;
+    flood_timeout = Time.ms 500.;
+    max_flood_attempts = 4;
+    buffer_capacity = 64;
+    buffer_max_age = Time.sec 30.;
+    flood_jitter = Time.ms 10.;
+    max_salvage = 3;
+    reply_from_cache = true;
+    route_shortening = true;
+  }
+
+type pending = {
+  mutable p_attempts : int;  (** flood attempts made (0 = nonprop phase) *)
+  mutable p_timer : Engine.handle option;
+}
+
+type state = {
+  ctx : RA.ctx;
+  cfg : config;
+  cache : Route_cache.t;
+  seen : unit Routing.Rreq_cache.t;  (** RREQ duplicate table *)
+  shortened : unit Routing.Rreq_cache.t;
+      (** gratuitous-RREP rate limiting, keyed (source, destination) *)
+  buffer : Routing.Packet_buffer.t;
+  mutable next_rreq_id : int;
+  pending : pending Node_id.Table.t;
+}
+
+let send_dsr t ~dst msg = t.ctx.send ~dst (Payload.Dsr msg)
+
+let rec dedup_ok = function
+  | [] -> true
+  | x :: rest -> (not (List.exists (Node_id.equal x) rest)) && dedup_ok rest
+
+(* ---- Sending data over a source route ---------------------------------- *)
+
+let send_data_via t hops (data : Data_msg.t) ~salvage =
+  match hops with
+  | [] -> t.ctx.deliver data
+  | next :: rest ->
+      let full_route = t.ctx.id :: hops in
+      send_dsr t
+        ~dst:(Net.Frame.Unicast next)
+        (Dsr_msg.Data
+           { sr_remaining = rest; full_route; data = Data_msg.hop data; salvage })
+
+let flush_buffer t dst =
+  match Route_cache.find t.cache ~dst with
+  | None -> ()
+  | Some hops ->
+      List.iter
+        (fun msg -> send_data_via t hops msg ~salvage:0)
+        (Routing.Packet_buffer.take t.buffer dst)
+
+(* ---- Route discovery --------------------------------------------------- *)
+
+let fresh_rreq_id t =
+  t.next_rreq_id <- t.next_rreq_id + 1;
+  t.next_rreq_id
+
+let net_diameter = Routing.Discovery.default.net_diameter
+
+let rec issue_rreq t dst pend =
+  let ttl, timeout =
+    if pend.p_attempts = 0 then (1, t.cfg.nonprop_timeout)
+    else
+      ( net_diameter,
+        (* Exponential request backoff. *)
+        Time.mul t.cfg.flood_timeout (1 lsl (pend.p_attempts - 1)) )
+  in
+  let rreq =
+    { Dsr_msg.origin = t.ctx.id; dst; rreq_id = fresh_rreq_id t; route = []; ttl }
+  in
+  t.ctx.event "rreq_init";
+  send_dsr t ~dst:Net.Frame.Broadcast (Dsr_msg.Rreq rreq);
+  pend.p_timer <-
+    Some
+      (Engine.after t.ctx.engine timeout (fun () -> attempt_expired t dst pend))
+
+and attempt_expired t dst pend =
+  pend.p_timer <- None;
+  if Route_cache.find t.cache ~dst <> None then finish_discovery t dst
+  else if pend.p_attempts < t.cfg.max_flood_attempts then begin
+    pend.p_attempts <- pend.p_attempts + 1;
+    issue_rreq t dst pend
+  end
+  else begin
+    Node_id.Table.remove t.pending dst;
+    Routing.Packet_buffer.drop_all t.buffer dst ~reason:"discovery-failed"
+  end
+
+and finish_discovery t dst =
+  (match Node_id.Table.find_opt t.pending dst with
+  | Some pend -> (
+      match pend.p_timer with Some h -> Engine.cancel h | None -> ())
+  | None -> ());
+  Node_id.Table.remove t.pending dst;
+  flush_buffer t dst
+
+let start_discovery t dst =
+  if not (Node_id.Table.mem t.pending dst) then begin
+    let pend = { p_attempts = 0; p_timer = None } in
+    Node_id.Table.replace t.pending dst pend;
+    issue_rreq t dst pend
+  end
+
+(* ---- Data plane -------------------------------------------------------- *)
+
+let origin_data t msg =
+  if Node_id.equal msg.Data_msg.dst t.ctx.id then t.ctx.deliver msg
+  else
+    match Route_cache.find t.cache ~dst:msg.Data_msg.dst with
+    | Some hops -> send_data_via t hops msg ~salvage:0
+    | None ->
+        Routing.Packet_buffer.push t.buffer msg;
+        start_discovery t msg.Data_msg.dst
+
+let handle_data t ~sr_remaining ~full_route ~data ~salvage =
+  (* Forwarding is purely header-driven; caches also learn the route the
+     packet is following. *)
+  Route_cache.add_path t.cache full_route;
+  match sr_remaining with
+  | [] ->
+      if Node_id.equal data.Data_msg.dst t.ctx.id then t.ctx.deliver data
+      else t.ctx.drop_data data ~reason:"misrouted"
+  | next :: rest ->
+      send_dsr t
+        ~dst:(Net.Frame.Unicast next)
+        (Dsr_msg.Data
+           { sr_remaining = rest; full_route; data = Data_msg.hop data; salvage })
+
+(* ---- RREQ / RREP ------------------------------------------------------- *)
+
+let reverse_path_to_origin (r : Dsr_msg.rreq) =
+  (* Path the reply retraces: last relay first, origin last. *)
+  List.rev (r.origin :: r.route)
+
+let send_rrep t ~full_route ~sr (rrep : Dsr_msg.rrep) =
+  match sr with
+  | [] ->
+      (* Reply to a one-hop neighbor request. *)
+      ignore full_route;
+      assert false
+  | next :: rest ->
+      t.ctx.event "rrep_init";
+      send_dsr t ~dst:(Net.Frame.Unicast next)
+        (Dsr_msg.Rrep { sr_remaining = rest; rrep })
+
+let handle_rreq t (r : Dsr_msg.rreq) ~from =
+  let self = t.ctx.id in
+  if Node_id.equal r.origin self then ()
+  else if List.exists (Node_id.equal self) r.route then ()
+  else if Routing.Rreq_cache.mem t.seen ~origin:r.origin ~rreq_id:r.rreq_id
+  then ()
+  else begin
+    Routing.Rreq_cache.add t.seen ~origin:r.origin ~rreq_id:r.rreq_id ();
+    ignore from;
+    (* Links are symmetric, so the accumulated route read backwards is a
+       route to the origin. *)
+    Route_cache.add_path t.cache (self :: reverse_path_to_origin r);
+    if Node_id.equal r.dst self then begin
+      let full_route = (r.origin :: r.route) @ [ self ] in
+      send_rrep t ~full_route
+        ~sr:(reverse_path_to_origin r)
+        { Dsr_msg.origin = r.origin; dst = r.dst; full_route }
+    end
+    else begin
+      let cached =
+        if t.cfg.reply_from_cache then Route_cache.find t.cache ~dst:r.dst
+        else None
+      in
+      match cached with
+      | Some hops
+        when dedup_ok ((r.origin :: r.route) @ (self :: hops)) ->
+          (* Reply from cache: splice our cached suffix onto the
+             accumulated prefix, provided the result is loop-free. *)
+          let full_route = (r.origin :: r.route) @ (self :: hops) in
+          send_rrep t ~full_route
+            ~sr:(reverse_path_to_origin r)
+            { Dsr_msg.origin = r.origin; dst = r.dst; full_route }
+      | Some _ | None ->
+          if r.ttl > 1 then begin
+            let relayed =
+              { r with Dsr_msg.route = r.route @ [ self ]; ttl = r.ttl - 1 }
+            in
+            let delay = Rng.uniform_time t.ctx.rng t.cfg.flood_jitter in
+            ignore
+              (Engine.after t.ctx.engine delay (fun () ->
+                   send_dsr t ~dst:Net.Frame.Broadcast (Dsr_msg.Rreq relayed)))
+          end
+    end
+  end
+
+let handle_rrep t ~sr_remaining ~(rrep : Dsr_msg.rrep) =
+  Route_cache.add_path t.cache rrep.full_route;
+  if Node_id.equal rrep.origin t.ctx.id then begin
+    t.ctx.event "rrep_usable_recv";
+    finish_discovery t rrep.dst
+  end
+  else
+    match sr_remaining with
+    | [] -> () (* misdelivered *)
+    | next :: rest ->
+        t.ctx.event "rrep_usable_recv";
+        send_dsr t ~dst:(Net.Frame.Unicast next)
+          (Dsr_msg.Rrep { sr_remaining = rest; rrep })
+
+(* ---- Route errors and salvaging ---------------------------------------- *)
+
+let handle_rerr t ~sr_remaining ~(rerr : Dsr_msg.rerr) =
+  Route_cache.remove_link t.cache rerr.broken_from rerr.broken_to;
+  if not (Node_id.equal rerr.err_dst t.ctx.id) then
+    match sr_remaining with
+    | [] -> ()
+    | next :: rest ->
+        send_dsr t ~dst:(Net.Frame.Unicast next)
+          (Dsr_msg.Rerr { sr_remaining = rest; rerr })
+
+let send_rerr t ~(data : Data_msg.t) ~full_route ~broken_to =
+  (* Route the error back over the prefix this packet already crossed. *)
+  let rec prefix_before acc = function
+    | [] -> None
+    | x :: _ when Node_id.equal x t.ctx.id -> Some acc
+    | x :: rest -> prefix_before (x :: acc) rest
+  in
+  match prefix_before [] full_route with
+  | None | Some [] -> () (* we are the source; nothing to send *)
+  | Some (next :: rest) ->
+      let rerr =
+        {
+          Dsr_msg.err_from = t.ctx.id;
+          broken_from = t.ctx.id;
+          broken_to;
+          err_dst = data.Data_msg.src;
+        }
+      in
+      send_dsr t ~dst:(Net.Frame.Unicast next)
+        (Dsr_msg.Rerr { sr_remaining = rest; rerr })
+
+let link_failure t payload ~next_hop =
+  Route_cache.remove_link t.cache t.ctx.id next_hop;
+  match payload with
+  | Payload.Dsr (Dsr_msg.Data { full_route; data; salvage; _ }) -> (
+      send_rerr t ~data ~full_route ~broken_to:next_hop;
+      (* Salvage: an intermediate node with another cached route may
+         re-source-route the packet itself. *)
+      match Route_cache.find t.cache ~dst:data.Data_msg.dst with
+      | Some hops when salvage < t.cfg.max_salvage ->
+          send_data_via t hops data ~salvage:(salvage + 1)
+      | Some _ | None ->
+          if Node_id.equal data.Data_msg.src t.ctx.id then begin
+            Routing.Packet_buffer.push t.buffer data;
+            start_discovery t data.Data_msg.dst
+          end
+          else t.ctx.drop_data data ~reason:"link-failure")
+  | Payload.Dsr _ | Payload.Data _ | Payload.Ldr _ | Payload.Aodv _
+  | Payload.Olsr _ ->
+      ()
+
+(* ---- Wiring ------------------------------------------------------------ *)
+
+let recv t payload ~from =
+  match payload with
+  | Payload.Dsr (Dsr_msg.Rreq r) -> handle_rreq t r ~from
+  | Payload.Dsr (Dsr_msg.Rrep { sr_remaining; rrep }) ->
+      handle_rrep t ~sr_remaining ~rrep
+  | Payload.Dsr (Dsr_msg.Rerr { sr_remaining; rerr }) ->
+      handle_rerr t ~sr_remaining ~rerr
+  | Payload.Dsr (Dsr_msg.Data { sr_remaining; full_route; data; salvage }) ->
+      handle_data t ~sr_remaining ~full_route ~data ~salvage
+  | Payload.Data data ->
+      (* Hop-by-hop data only reaches a DSR node in mixed-protocol unit
+         tests; treat as local delivery if ours. *)
+      if Node_id.equal data.Data_msg.dst t.ctx.id then t.ctx.deliver data
+  | Payload.Ldr _ | Payload.Aodv _ | Payload.Olsr _ -> ()
+
+(* Split a route at the first occurrence of [x]: (prefix incl. x, rest). *)
+let split_at x route =
+  let rec go acc = function
+    | [] -> None
+    | y :: rest when Node_id.equal y x -> Some (List.rev (y :: acc), rest)
+    | y :: rest -> go (y :: acc) rest
+  in
+  go [] route
+
+(* Automatic route shortening: we overheard [from] transmitting a packet
+   whose remaining route reaches us only through intermediate hops — but
+   we just proved we hear [from] directly.  Tell the source. *)
+let maybe_shorten t ~from ~full_route ~sr_remaining (data : Data_msg.t) =
+  if
+    t.cfg.route_shortening
+    && List.exists (Node_id.equal t.ctx.id) sr_remaining
+    && not
+         (Routing.Rreq_cache.mem t.shortened ~origin:data.Data_msg.src
+            ~rreq_id:(Node_id.to_int data.Data_msg.dst))
+  then
+    match split_at from full_route with
+    | None -> ()
+    | Some (prefix, after_from) -> (
+        match split_at t.ctx.id after_from with
+        | None -> ()
+        | Some (skipped_and_self, after_self) ->
+            (* Only worth reporting if at least one hop is skipped. *)
+            if List.length skipped_and_self >= 2 then begin
+              Routing.Rreq_cache.add t.shortened ~origin:data.Data_msg.src
+                ~rreq_id:(Node_id.to_int data.Data_msg.dst) ();
+              let shortened = prefix @ (t.ctx.id :: after_self) in
+              (* Route the gratuitous reply back over the transmitter. *)
+              let sr = List.rev prefix in
+              match sr with
+              | [] -> ()
+              | _ ->
+                  t.ctx.event "rrep_init";
+                  send_dsr t
+                    ~dst:(Net.Frame.Unicast (List.hd sr))
+                    (Dsr_msg.Rrep
+                       {
+                         sr_remaining = List.tl sr;
+                         rrep =
+                           {
+                             Dsr_msg.origin = data.Data_msg.src;
+                             dst = data.Data_msg.dst;
+                             full_route = shortened;
+                           };
+                       })
+            end)
+
+let overheard t payload ~from ~dst:_ =
+  (* Promiscuous snooping on source routes. *)
+  match payload with
+  | Payload.Dsr (Dsr_msg.Data { full_route; sr_remaining; data; _ }) ->
+      Route_cache.add_path t.cache full_route;
+      maybe_shorten t ~from ~full_route ~sr_remaining data
+  | Payload.Dsr (Dsr_msg.Rrep { rrep; _ }) ->
+      Route_cache.add_path t.cache rrep.full_route
+  | Payload.Dsr _ | Payload.Data _ | Payload.Ldr _ | Payload.Aodv _
+  | Payload.Olsr _ ->
+      ()
+
+let factory ?(config = default_config) () (ctx : RA.ctx) =
+  let t =
+    {
+      ctx;
+      cfg = config;
+      cache =
+        Route_cache.create ~engine:ctx.engine ~owner:ctx.id
+          ~capacity:config.cache_capacity ~ttl:config.cache_ttl;
+      seen = Routing.Rreq_cache.create ~engine:ctx.engine ~ttl:(Time.sec 30.);
+      shortened = Routing.Rreq_cache.create ~engine:ctx.engine ~ttl:(Time.sec 1.);
+      buffer =
+        Routing.Packet_buffer.create ~engine:ctx.engine
+          ~capacity:config.buffer_capacity ~max_age:config.buffer_max_age
+          ~on_drop:ctx.drop_data;
+      next_rreq_id = 0;
+      pending = Node_id.Table.create 8;
+    }
+  in
+  {
+    RA.origin_data = (fun msg -> origin_data t msg);
+    recv = (fun payload ~from -> recv t payload ~from);
+    overheard = (fun payload ~from ~dst -> overheard t payload ~from ~dst);
+    link_failure = (fun payload ~next_hop -> link_failure t payload ~next_hop);
+    start = (fun () -> ());
+    successor = (fun _ -> None);
+    own_seqno = (fun () -> 0.);
+  }

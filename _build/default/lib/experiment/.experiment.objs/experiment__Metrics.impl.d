@@ -1,0 +1,1 @@
+lib/experiment/metrics.ml: Data_msg Hashtbl List Net Packets Payload Sim Stats

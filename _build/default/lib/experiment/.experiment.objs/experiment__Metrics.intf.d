@@ -1,0 +1,1 @@
+lib/experiment/metrics.mli: Net Packets Sim

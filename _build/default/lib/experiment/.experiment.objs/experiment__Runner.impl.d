@@ -1,0 +1,1 @@
+lib/experiment/runner.ml: Array Data_msg Engine List Metrics Mobility Net Node_id Packets Rng Routing Scenario Sim Time Trace Traffic

@@ -1,0 +1,1 @@
+lib/experiment/runner.mli: Metrics Net Routing Scenario Sim

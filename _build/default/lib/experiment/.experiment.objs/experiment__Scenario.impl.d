@@ -1,0 +1,1 @@
+lib/experiment/scenario.ml: Aodv Array Dsr Float Geom Ldr List Net Olsr Sim Stdlib Time Traffic

@@ -1,0 +1,1 @@
+lib/experiment/scenario.mli: Aodv Dsr Geom Ldr Net Olsr Routing Sim Traffic

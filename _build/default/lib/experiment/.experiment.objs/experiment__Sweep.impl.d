@@ -1,0 +1,1 @@
+lib/experiment/sweep.ml: List Metrics Runner Scenario Stats

@@ -1,0 +1,1 @@
+lib/experiment/sweep.mli: Metrics Scenario Sim Stats

@@ -1,0 +1,1 @@
+lib/experiment/testnet.ml: Array Data_msg Engine Metrics Net Node_id Packets Rng Routing Sim Time

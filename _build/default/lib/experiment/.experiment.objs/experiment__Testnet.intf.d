@@ -1,0 +1,1 @@
+lib/experiment/testnet.mli: Metrics Routing Sim

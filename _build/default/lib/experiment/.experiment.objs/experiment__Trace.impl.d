@@ -1,0 +1,1 @@
+lib/experiment/trace.ml: Data_msg Format Logs Net Node_id Packets Sim

@@ -1,0 +1,1 @@
+lib/experiment/trace.mli: Format Logs Net Packets Sim

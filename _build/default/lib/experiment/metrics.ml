@@ -1,0 +1,137 @@
+open Packets
+
+type t = {
+  mutable originated : int;
+  mutable delivered : int;
+  mutable duplicates : int;
+  latency : Stats.Welford.t;
+  latency_q : Stats.Quantile.t;
+  hop_count : Stats.Welford.t;
+  seen : (int * int, unit) Hashtbl.t;
+  control_tx : (string, int ref) Hashtbl.t;
+  mutable data_tx : int;
+  mutable ack_tx : int;
+  events : (string, int ref) Hashtbl.t;
+  drops : (string, int ref) Hashtbl.t;
+  mutable loop_violations : int;
+  mutable mean_dest_seqno : float;
+}
+
+let create () =
+  {
+    originated = 0;
+    delivered = 0;
+    duplicates = 0;
+    latency = Stats.Welford.create ();
+    latency_q = Stats.Quantile.create ~rng_seed:17 ();
+    hop_count = Stats.Welford.create ();
+    seen = Hashtbl.create 4096;
+    control_tx = Hashtbl.create 8;
+    data_tx = 0;
+    ack_tx = 0;
+    events = Hashtbl.create 8;
+    drops = Hashtbl.create 8;
+    loop_violations = 0;
+    mean_dest_seqno = 0.;
+  }
+
+let bump tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> incr r
+  | None -> Hashtbl.replace tbl key (ref 1)
+
+let data_originated t _msg = t.originated <- t.originated + 1
+
+let data_delivered t ~now msg =
+  let uid = Data_msg.uid msg in
+  if Hashtbl.mem t.seen uid then t.duplicates <- t.duplicates + 1
+  else begin
+    Hashtbl.replace t.seen uid ();
+    t.delivered <- t.delivered + 1;
+    let latency_ms = Sim.Time.to_ms (Sim.Time.diff now msg.Data_msg.origin_time) in
+    Stats.Welford.add t.latency latency_ms;
+    Stats.Quantile.add t.latency_q latency_ms;
+    Stats.Welford.add t.hop_count (float_of_int msg.Data_msg.hops)
+  end
+
+let data_dropped t _msg ~reason = bump t.drops reason
+
+let transmitted t (f : Net.Frame.t) =
+  match f.body with
+  | Net.Frame.Ack -> t.ack_tx <- t.ack_tx + 1
+  | Net.Frame.Payload p -> (
+      match Payload.classify p with
+      | `Data _ -> t.data_tx <- t.data_tx + 1
+      | `Control kind -> bump t.control_tx kind)
+
+let protocol_event t name = bump t.events name
+let loop_violation t = t.loop_violations <- t.loop_violations + 1
+let set_mean_dest_seqno t x = t.mean_dest_seqno <- x
+
+let originated t = t.originated
+let delivered t = t.delivered
+let duplicates t = t.duplicates
+
+let delivery_ratio t =
+  if t.originated = 0 then 0.
+  else float_of_int t.delivered /. float_of_int t.originated
+
+let mean_latency_ms t = Stats.Welford.mean t.latency
+let median_latency_ms t = Stats.Quantile.median t.latency_q
+let p95_latency_ms t = Stats.Quantile.p95 t.latency_q
+let mean_hops t = Stats.Welford.mean t.hop_count
+
+let control_by_kind t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.control_tx []
+  |> List.sort compare
+
+let control_transmissions t =
+  Hashtbl.fold (fun _ r acc -> acc + !r) t.control_tx 0
+
+let data_transmissions t = t.data_tx
+
+let per_delivered t count =
+  if t.delivered = 0 then 0. else float_of_int count /. float_of_int t.delivered
+
+let network_load t = per_delivered t (control_transmissions t)
+
+let rreq_load t =
+  per_delivered t
+    (match Hashtbl.find_opt t.control_tx "RREQ" with Some r -> !r | None -> 0)
+
+let event_count t name =
+  match Hashtbl.find_opt t.events name with Some r -> !r | None -> 0
+
+let per_rreq t count =
+  let rreqs = event_count t "rreq_init" in
+  if rreqs = 0 then 0. else float_of_int count /. float_of_int rreqs
+
+let rrep_init_per_rreq t = per_rreq t (event_count t "rrep_init")
+let rrep_recv_per_rreq t = per_rreq t (event_count t "rrep_usable_recv")
+
+let drops_by_reason t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.drops [] |> List.sort compare
+
+let loop_violations t = t.loop_violations
+let mean_dest_seqno t = t.mean_dest_seqno
+
+type summary = {
+  s_delivery_ratio : float;
+  s_latency_ms : float;
+  s_network_load : float;
+  s_rreq_load : float;
+  s_rrep_init : float;
+  s_rrep_recv : float;
+  s_mean_dest_seqno : float;
+}
+
+let summary t =
+  {
+    s_delivery_ratio = delivery_ratio t;
+    s_latency_ms = mean_latency_ms t;
+    s_network_load = network_load t;
+    s_rreq_load = rreq_load t;
+    s_rrep_init = rrep_init_per_rreq t;
+    s_rrep_recv = rrep_recv_per_rreq t;
+    s_mean_dest_seqno = mean_dest_seqno t;
+  }

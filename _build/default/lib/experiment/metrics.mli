@@ -1,0 +1,66 @@
+(** Run-level accounting for the paper's six metrics (Section 4) plus the
+    Fig-7 mean destination sequence number.
+
+    Terminology follows the paper: a "transmitted" count is hop-wise (a
+    packet crossing three hops counts three), an "initiated" count is
+    per-origination. *)
+
+type t
+
+val create : unit -> t
+
+(* Recording (called by the runner's hooks). *)
+
+val data_originated : t -> Packets.Data_msg.t -> unit
+val data_delivered : t -> now:Sim.Time.t -> Packets.Data_msg.t -> unit
+val data_dropped : t -> Packets.Data_msg.t -> reason:string -> unit
+val transmitted : t -> Net.Frame.t -> unit
+val protocol_event : t -> string -> unit
+val loop_violation : t -> unit
+val set_mean_dest_seqno : t -> float -> unit
+
+(* Reading. *)
+
+val originated : t -> int
+val delivered : t -> int
+(** Unique end-to-end deliveries (MAC-duplicate copies excluded). *)
+
+val duplicates : t -> int
+val delivery_ratio : t -> float
+
+val mean_latency_ms : t -> float
+
+val median_latency_ms : t -> float
+
+val p95_latency_ms : t -> float
+
+val mean_hops : t -> float
+(** Mean path length (MAC transmissions) of delivered packets. *)
+
+val control_transmissions : t -> int
+(** All control packets, hop-wise (RREQ+RREP+RERR+HELLO+TC). *)
+
+val control_by_kind : t -> (string * int) list
+val data_transmissions : t -> int
+val network_load : t -> float
+(** Control transmissions per received data packet. *)
+
+val rreq_load : t -> float
+val rrep_init_per_rreq : t -> float
+val rrep_recv_per_rreq : t -> float
+val event_count : t -> string -> int
+val drops_by_reason : t -> (string * int) list
+val loop_violations : t -> int
+val mean_dest_seqno : t -> float
+
+type summary = {
+  s_delivery_ratio : float;
+  s_latency_ms : float;
+  s_network_load : float;
+  s_rreq_load : float;
+  s_rrep_init : float;
+  s_rrep_recv : float;
+  s_mean_dest_seqno : float;
+}
+
+val summary : t -> summary

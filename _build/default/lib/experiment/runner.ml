@@ -1,0 +1,182 @@
+open Sim
+open Packets
+
+type outcome = {
+  metrics : Metrics.t;
+  summary : Metrics.summary;
+  events_processed : int;
+  mac_queue_drops : int;
+  mac_unicast_failures : int;
+  transmissions : int;
+}
+
+type sim = {
+  engine : Engine.t;
+  agents : Routing.Agent.t array;
+  macs : Net.Mac.t array;
+  channel : Net.Channel.t;
+  inject : src:int -> dst:int -> unit;
+  sim_metrics : Metrics.t;
+  finalize : unit -> unit;
+}
+
+(* Any loop created by a routing-table write must traverse the edge just
+   written, so it suffices to walk successor chains starting at the node
+   that changed (for every destination it currently has a successor
+   for). *)
+let audit_from agents metrics n num_nodes =
+  let agent : Routing.Agent.t = agents.(n) in
+  for d = 0 to num_nodes - 1 do
+    if d <> n then begin
+      let dst = Node_id.of_int d in
+      match agent.Routing.Agent.successor dst with
+      | None -> ()
+      | Some _ ->
+          let visited = Array.make num_nodes false in
+          let rec walk x =
+            let xi = Node_id.to_int x in
+            if visited.(xi) then Metrics.loop_violation metrics
+            else begin
+              visited.(xi) <- true;
+              if not (Node_id.equal x dst) then
+                match agents.(xi).Routing.Agent.successor dst with
+                | Some next -> walk next
+                | None -> ()
+            end
+          in
+          walk (Node_id.of_int n)
+    end
+  done
+
+let build (sc : Scenario.t) =
+  let engine = Engine.create ~seed:sc.seed () in
+  let root = Engine.rng engine in
+  let placement_rng = Rng.split root in
+  let mobility_rng = Rng.split root in
+  let traffic_rng = Rng.split root in
+  let metrics = Metrics.create () in
+  let channel = Net.Channel.create ~engine ~params:sc.net in
+  Net.Channel.set_transmit_hook channel (fun src frame ->
+      Trace.transmit engine src frame;
+      Metrics.transmitted metrics frame);
+  let n = sc.num_nodes in
+  let agents : Routing.Agent.t array =
+    Array.make n
+      {
+        Routing.Agent.origin_data = ignore;
+        recv = (fun _ ~from:_ -> ());
+        overheard = (fun _ ~from:_ ~dst:_ -> ());
+        link_failure = (fun _ ~next_hop:_ -> ());
+        start = ignore;
+        successor = (fun _ -> None);
+        own_seqno = (fun () -> 0.);
+      }
+  in
+  let factory = Scenario.factory sc.protocol in
+  let macs = ref [] in
+  let starts = Scenario.positions sc placement_rng in
+  for i = 0 to n - 1 do
+    let id = Node_id.of_int i in
+    let start = starts.(i) in
+    let mob =
+      if sc.speed_max <= 0. then Mobility.static start
+      else
+        Mobility.waypoint ~terrain:sc.terrain ~rng:(Rng.split mobility_rng)
+          ~speed_min:sc.speed_min ~speed_max:sc.speed_max ~pause:sc.pause
+          ~start
+    in
+    let position () = Mobility.position mob (Engine.now engine) in
+    let mac =
+      Net.Mac.create ~engine ~channel ~rng:(Rng.split root) ~id ~position
+        {
+          Net.Mac.receive =
+            (fun payload ~from ->
+              agents.(i).Routing.Agent.recv payload ~from);
+          promiscuous =
+            (fun payload ~from ~dst ->
+              agents.(i).Routing.Agent.overheard payload ~from ~dst);
+          link_failure =
+            (fun payload ~next_hop ->
+              Trace.link_failure engine id ~next_hop;
+              agents.(i).Routing.Agent.link_failure payload ~next_hop);
+        }
+    in
+    macs := mac :: !macs;
+    let ctx =
+      {
+        Routing.Agent.id;
+        engine;
+        rng = Rng.split root;
+        send = (fun ~dst payload -> Net.Mac.send mac ~dst payload);
+        deliver =
+          (fun msg ->
+            Trace.deliver engine id msg;
+            Metrics.data_delivered metrics ~now:(Engine.now engine) msg);
+        drop_data =
+          (fun msg ~reason ->
+            Trace.drop engine id msg ~reason;
+            Metrics.data_dropped metrics msg ~reason);
+        event =
+          (fun name ->
+            Trace.protocol_event engine id name;
+            Metrics.protocol_event metrics name);
+        table_changed =
+          (if sc.audit_loops then fun () -> audit_from agents metrics i n
+           else ignore);
+      }
+    in
+    agents.(i) <- factory ctx
+  done;
+  Array.iter (fun (a : Routing.Agent.t) -> a.start ()) agents;
+  Traffic.setup ~engine ~rng:traffic_rng ~num_nodes:n ~config:sc.traffic
+    ~until:sc.duration
+    ~emit:(fun ~src msg ->
+      Metrics.data_originated metrics msg;
+      agents.(Node_id.to_int src).Routing.Agent.origin_data msg);
+  let injected = ref 0 in
+  let inject ~src ~dst =
+    incr injected;
+    let msg =
+      Data_msg.fresh
+        ~flow_id:(1_000_000 + !injected)
+        ~seq:0 ~src:(Node_id.of_int src) ~dst:(Node_id.of_int dst)
+        ~payload_bytes:sc.traffic.Traffic.payload_bytes
+        ~origin_time:(Engine.now engine)
+    in
+    Metrics.data_originated metrics msg;
+    agents.(src).Routing.Agent.origin_data msg
+  in
+  let finalize () =
+    let total = ref 0. in
+    Array.iter
+      (fun (a : Routing.Agent.t) -> total := !total +. a.own_seqno ())
+      agents;
+    Metrics.set_mean_dest_seqno metrics (!total /. float_of_int n)
+  in
+  {
+    engine;
+    agents;
+    macs = Array.of_list (List.rev !macs);
+    channel;
+    inject;
+    sim_metrics = metrics;
+    finalize;
+  }
+
+let run (sc : Scenario.t) =
+  let sim = build sc in
+  (* Let in-flight packets (and their latency) resolve briefly after the
+     last origination. *)
+  let drain = Time.sec 2. in
+  Engine.run ~until:(Time.add sc.duration drain) sim.engine;
+  sim.finalize ();
+  let metrics = sim.sim_metrics in
+  let sum f = Array.fold_left (fun acc m -> acc + f m) 0 sim.macs in
+  {
+    metrics;
+    summary = Metrics.summary metrics;
+    events_processed = Engine.events_processed sim.engine;
+    mac_queue_drops = sum Net.Mac.queue_drops;
+    mac_unicast_failures = sum Net.Mac.unicast_failures;
+    transmissions = Net.Channel.transmissions sim.channel;
+  }

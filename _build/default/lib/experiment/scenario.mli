@@ -1,0 +1,64 @@
+(** Simulation scenario descriptions (paper, Section 4). *)
+
+type protocol =
+  | Ldr of Ldr.Config.t
+  | Aodv of Aodv.config
+  | Dsr of Dsr.config
+  | Olsr of Olsr.config
+
+val protocol_name : protocol -> string
+
+val ldr : protocol
+(** LDR with the paper's optimizations. *)
+
+val ldr_multipath : protocol
+(** LDR extended with LFI alternate successors (instant failover). *)
+
+val aodv : protocol
+val dsr : protocol
+val dsr_draft7 : protocol
+(** DSR without replies-from-cache — the behavioural delta the paper's
+    Fig-6 QualNet (draft 7) cross-check exercises. *)
+
+val olsr : protocol
+
+val factory : protocol -> Routing.Agent.factory
+
+type placement =
+  | Uniform  (** i.i.d. uniform over the terrain (the paper's scenarios) *)
+  | Grid  (** near-square grid filling the terrain *)
+  | Fixed of Geom.Vec2.t list  (** explicit positions, one per node *)
+
+type t = {
+  label : string;
+  num_nodes : int;
+  terrain : Geom.Terrain.t;
+  placement : placement;
+  speed_min : float;
+  speed_max : float;
+  pause : Sim.Time.t;  (** random-waypoint pause time *)
+  duration : Sim.Time.t;
+  traffic : Traffic.config;
+  protocol : protocol;
+  net : Net.Params.t;
+  seed : int;
+  audit_loops : bool;
+      (** audit the successor graph for loops at every routing-table
+          change (expensive; tests and the loop-check example use it) *)
+}
+
+val paper_50 : protocol -> t
+(** 50 nodes on 1500 x 300 m. *)
+
+val paper_100 : protocol -> t
+(** 100 nodes on 2200 x 600 m. *)
+
+val positions : t -> Sim.Rng.t -> Geom.Vec2.t array
+(** Initial node positions per the scenario's placement. *)
+
+val with_flows : int -> t -> t
+val with_pause : Sim.Time.t -> t -> t
+val with_duration : Sim.Time.t -> t -> t
+val with_seed : int -> t -> t
+val scaled : duration:Sim.Time.t -> t -> t
+(** Shorten a paper scenario for laptop-scale reproduction. *)

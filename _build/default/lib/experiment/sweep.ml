@@ -1,0 +1,52 @@
+type point = {
+  delivery_ratio : Stats.Welford.t;
+  latency_ms : Stats.Welford.t;
+  network_load : Stats.Welford.t;
+  rreq_load : Stats.Welford.t;
+  rrep_init : Stats.Welford.t;
+  rrep_recv : Stats.Welford.t;
+  mean_dest_seqno : Stats.Welford.t;
+}
+
+let empty_point () =
+  {
+    delivery_ratio = Stats.Welford.create ();
+    latency_ms = Stats.Welford.create ();
+    network_load = Stats.Welford.create ();
+    rreq_load = Stats.Welford.create ();
+    rrep_init = Stats.Welford.create ();
+    rrep_recv = Stats.Welford.create ();
+    mean_dest_seqno = Stats.Welford.create ();
+  }
+
+let add_summary p (s : Metrics.summary) =
+  Stats.Welford.add p.delivery_ratio s.s_delivery_ratio;
+  Stats.Welford.add p.latency_ms s.s_latency_ms;
+  Stats.Welford.add p.network_load s.s_network_load;
+  Stats.Welford.add p.rreq_load s.s_rreq_load;
+  Stats.Welford.add p.rrep_init s.s_rrep_init;
+  Stats.Welford.add p.rrep_recv s.s_rrep_recv;
+  Stats.Welford.add p.mean_dest_seqno s.s_mean_dest_seqno
+
+let merge_points a b =
+  let m = Stats.Welford.merge in
+  {
+    delivery_ratio = m a.delivery_ratio b.delivery_ratio;
+    latency_ms = m a.latency_ms b.latency_ms;
+    network_load = m a.network_load b.network_load;
+    rreq_load = m a.rreq_load b.rreq_load;
+    rrep_init = m a.rrep_init b.rrep_init;
+    rrep_recv = m a.rrep_recv b.rrep_recv;
+    mean_dest_seqno = m a.mean_dest_seqno b.mean_dest_seqno;
+  }
+
+let trials (sc : Scenario.t) ~n =
+  let p = empty_point () in
+  for i = 0 to n - 1 do
+    let outcome = Runner.run { sc with seed = sc.seed + i } in
+    add_summary p outcome.summary
+  done;
+  p
+
+let pause_sweep (sc : Scenario.t) ~pauses ~trials:n =
+  List.map (fun pause -> (pause, trials { sc with pause } ~n)) pauses

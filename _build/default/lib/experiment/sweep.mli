@@ -1,0 +1,24 @@
+(** Multi-trial aggregation: the paper repeats every configuration for 10
+    random seeds and reports means with 95 % confidence intervals. *)
+
+type point = {
+  delivery_ratio : Stats.Welford.t;
+  latency_ms : Stats.Welford.t;
+  network_load : Stats.Welford.t;
+  rreq_load : Stats.Welford.t;
+  rrep_init : Stats.Welford.t;
+  rrep_recv : Stats.Welford.t;
+  mean_dest_seqno : Stats.Welford.t;
+}
+
+val empty_point : unit -> point
+val add_summary : point -> Metrics.summary -> unit
+val merge_points : point -> point -> point
+
+val trials : Scenario.t -> n:int -> point
+(** Run the scenario [n] times under seeds [seed, seed+1, ...] and
+    aggregate. *)
+
+val pause_sweep :
+  Scenario.t -> pauses:Sim.Time.t list -> trials:int -> (Sim.Time.t * point) list
+(** One aggregated point per pause time — a figure series. *)

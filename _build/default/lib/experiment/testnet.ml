@@ -1,0 +1,154 @@
+open Sim
+open Packets
+
+type t = {
+  engine : Engine.t;
+  n : int;
+  adj : bool array array;
+  agents : Routing.Agent.t array;
+  net_metrics : Metrics.t;
+  mutable flow_counter : int;
+}
+
+let hop_delay = Time.ms 1.
+(* Broadcast copies arrive staggered so that reply order is a function of
+   node ids, which keeps walkthrough scripts deterministic. *)
+let stagger = Time.us 100.
+
+let link_failure_delay = Time.ms 10.
+
+let agent t i = t.agents.(i)
+let metrics t = t.net_metrics
+
+let connected t a b = t.adj.(a).(b)
+
+let connect t a b =
+  if a <> b then begin
+    t.adj.(a).(b) <- true;
+    t.adj.(b).(a) <- true
+  end
+
+let disconnect t a b =
+  t.adj.(a).(b) <- false;
+  t.adj.(b).(a) <- false
+
+let connect_chain t ids =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        connect t a b;
+        go rest
+    | [ _ ] | [] -> ()
+  in
+  go ids
+
+let deliver t ~to_ payload ~from =
+  t.agents.(to_).Routing.Agent.recv payload ~from:(Node_id.of_int from)
+
+let make_ctx t i =
+  let id = Node_id.of_int i in
+  {
+    Routing.Agent.id;
+    engine = t.engine;
+    rng = Rng.create (1000 + i);
+    send =
+      (fun ~dst payload ->
+        match dst with
+        | Net.Frame.Broadcast ->
+            let k = ref 0 in
+            for j = 0 to t.n - 1 do
+              if t.adj.(i).(j) then begin
+                let delay = Time.add hop_delay (Time.mul stagger !k) in
+                incr k;
+                ignore
+                  (Engine.after t.engine delay (fun () ->
+                       (* Link state is re-checked at delivery time. *)
+                       if t.adj.(i).(j) then deliver t ~to_:j payload ~from:i))
+              end
+            done
+        | Net.Frame.Unicast next ->
+            let j = Node_id.to_int next in
+            ignore
+              (Engine.after t.engine hop_delay (fun () ->
+                   if t.adj.(i).(j) then deliver t ~to_:j payload ~from:i
+                   else
+                     ignore
+                       (Engine.after t.engine link_failure_delay (fun () ->
+                            t.agents.(i).Routing.Agent.link_failure payload
+                              ~next_hop:next)))))
+    ;
+    deliver =
+      (fun msg ->
+        Metrics.data_delivered t.net_metrics ~now:(Engine.now t.engine) msg);
+    drop_data =
+      (fun msg ~reason -> Metrics.data_dropped t.net_metrics msg ~reason);
+    event = (fun name -> Metrics.protocol_event t.net_metrics name);
+    table_changed = ignore;
+  }
+
+let null_agent =
+  {
+    Routing.Agent.origin_data = ignore;
+    recv = (fun _ ~from:_ -> ());
+    overheard = (fun _ ~from:_ ~dst:_ -> ());
+    link_failure = (fun _ ~next_hop:_ -> ());
+    start = ignore;
+    successor = (fun _ -> None);
+    own_seqno = (fun () -> 0.);
+  }
+
+let create_custom ~engine ~factories =
+  let n = Array.length factories in
+  let t =
+    {
+      engine;
+      n;
+      adj = Array.make_matrix n n false;
+      agents = Array.make n null_agent;
+      net_metrics = Metrics.create ();
+      flow_counter = 0;
+    }
+  in
+  for i = 0 to n - 1 do
+    t.agents.(i) <- factories.(i) (make_ctx t i)
+  done;
+  Array.iter (fun (a : Routing.Agent.t) -> a.start ()) t.agents;
+  t
+
+let create ~engine ~factory ~n =
+  create_custom ~engine ~factories:(Array.make n factory)
+
+let origin t ~src ~dst =
+  t.flow_counter <- t.flow_counter + 1;
+  let msg =
+    Data_msg.fresh ~flow_id:t.flow_counter ~seq:0 ~src:(Node_id.of_int src)
+      ~dst:(Node_id.of_int dst) ~payload_bytes:512
+      ~origin_time:(Engine.now t.engine)
+  in
+  Metrics.data_originated t.net_metrics msg;
+  t.agents.(src).Routing.Agent.origin_data msg
+
+let delivered t = Metrics.delivered t.net_metrics
+
+let run t ~for_ =
+  Engine.run ~until:(Time.add (Engine.now t.engine) for_) t.engine
+
+let audit_loops t =
+  for d = 0 to t.n - 1 do
+    let dst = Node_id.of_int d in
+    for s = 0 to t.n - 1 do
+      if s <> d then begin
+        let visited = Array.make t.n false in
+        let rec walk x =
+          if visited.(x) then Metrics.loop_violation t.net_metrics
+          else begin
+            visited.(x) <- true;
+            if x <> d then
+              match t.agents.(x).Routing.Agent.successor dst with
+              | Some next -> walk (Node_id.to_int next)
+              | None -> ()
+          end
+        in
+        walk s
+      end
+    done
+  done

@@ -1,0 +1,39 @@
+(** Idealized protocol-level network for tests and walkthroughs.
+
+    Agents are wired over an explicit, mutable adjacency: no MAC, no
+    collisions, just deterministic per-link delays.  Broadcast reaches the
+    current neighbors (in id order, at slightly staggered times, so reply
+    ordering is deterministic); unicast to a disconnected node triggers
+    the agent's [link_failure] callback after a short delay, imitating
+    MAC retry exhaustion.  This isolates protocol logic from radio
+    effects — the full stack is exercised by {!Runner}. *)
+
+
+type t
+
+val create :
+  engine:Sim.Engine.t -> factory:Routing.Agent.factory -> n:int -> t
+
+val create_custom :
+  engine:Sim.Engine.t ->
+  factories:(Routing.Agent.ctx -> Routing.Agent.t) array ->
+  t
+(** Per-node factories (e.g. to keep debug handles on some nodes). *)
+
+val agent : t -> int -> Routing.Agent.t
+val connect : t -> int -> int -> unit
+val disconnect : t -> int -> int -> unit
+val connected : t -> int -> int -> bool
+val connect_chain : t -> int list -> unit
+val metrics : t -> Metrics.t
+
+val origin : t -> src:int -> dst:int -> unit
+(** Originate one data packet at [src] for [dst] (counted in metrics). *)
+
+val delivered : t -> int
+val run : t -> for_:Sim.Time.t -> unit
+(** Advance the engine by the given amount of virtual time. *)
+
+val audit_loops : t -> unit
+(** Walk every successor chain; any cycle increments the metric's
+    loop-violation counter. *)

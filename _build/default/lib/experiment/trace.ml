@@ -1,0 +1,46 @@
+open Packets
+
+let src = Logs.Src.create "manet" ~doc:"MANET simulator run trace"
+
+module Log = (val Logs.src_log src)
+
+let enable ?(out = Format.err_formatter) () =
+  let report _src _level ~over k msgf =
+    msgf (fun ?header:_ ?tags:_ fmt ->
+        Format.kfprintf
+          (fun f ->
+            Format.pp_print_newline f ();
+            over ();
+            k ())
+          out fmt)
+  in
+  Logs.set_reporter { Logs.report };
+  Logs.Src.set_level src (Some Logs.Debug)
+
+let stamp engine = Sim.Time.to_sec (Sim.Engine.now engine)
+
+let transmit engine node frame =
+  Log.debug (fun m ->
+      m "[%10.6f] %a TX %a" (stamp engine) Node_id.pp node Net.Frame.pp frame)
+
+let deliver engine node msg =
+  Log.debug (fun m ->
+      m "[%10.6f] %a DELIVER %a (latency %.2f ms, %d hops)" (stamp engine)
+        Node_id.pp node Data_msg.pp msg
+        (Sim.Time.to_ms
+           (Sim.Time.diff (Sim.Engine.now engine) msg.Data_msg.origin_time))
+        msg.Data_msg.hops)
+
+let drop engine node msg ~reason =
+  Log.debug (fun m ->
+      m "[%10.6f] %a DROP %a (%s)" (stamp engine) Node_id.pp node Data_msg.pp
+        msg reason)
+
+let link_failure engine node ~next_hop =
+  Log.debug (fun m ->
+      m "[%10.6f] %a LINK-FAILURE to %a" (stamp engine) Node_id.pp node
+        Node_id.pp next_hop)
+
+let protocol_event engine node name =
+  Log.debug (fun m ->
+      m "[%10.6f] %a EVENT %s" (stamp engine) Node_id.pp node name)

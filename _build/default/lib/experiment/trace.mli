@@ -1,0 +1,26 @@
+(** Run tracing.
+
+    Human-readable event traces at the node-stack boundaries — every
+    frame on the air, every delivery, drop and link failure — through the
+    {!Logs} library under the source ["manet"].  Disabled (and near-free)
+    unless a reporter is installed and the source's level allows
+    [Debug]; {!enable} does both, as the CLI's [--trace] flag. *)
+
+val src : Logs.src
+
+val enable : ?out:Format.formatter -> unit -> unit
+(** Install a reporter printing one line per event (simulation time,
+    node, event) to [out] (default stderr) and set the source to
+    [Debug].  Intended for CLI / debugging use; replaces any existing
+    Logs reporter. *)
+
+val transmit : Sim.Engine.t -> Packets.Node_id.t -> Net.Frame.t -> unit
+val deliver : Sim.Engine.t -> Packets.Node_id.t -> Packets.Data_msg.t -> unit
+
+val drop :
+  Sim.Engine.t -> Packets.Node_id.t -> Packets.Data_msg.t -> reason:string -> unit
+
+val link_failure :
+  Sim.Engine.t -> Packets.Node_id.t -> next_hop:Packets.Node_id.t -> unit
+
+val protocol_event : Sim.Engine.t -> Packets.Node_id.t -> string -> unit

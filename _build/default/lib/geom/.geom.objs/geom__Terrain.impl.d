@@ -1,0 +1,1 @@
+lib/geom/terrain.ml: Float Format Sim Vec2

@@ -1,0 +1,1 @@
+lib/geom/terrain.mli: Format Sim Vec2

@@ -1,0 +1,111 @@
+open Sim
+
+(* A leg is one linear motion (or pause, when [from = dest]) starting at
+   [depart] and ending at [arrive].  Models generate legs on demand. *)
+type leg = {
+  depart : Time.t;
+  arrive : Time.t;
+  from_pos : Geom.Vec2.t;
+  dest : Geom.Vec2.t;
+}
+
+type t = {
+  name : string;
+  mutable leg : leg;
+  mutable last_query : Time.t;
+  next_leg : leg -> leg;
+      (* Called when a query time passes [leg.arrive]; produces the
+         following leg, which must start where the previous ended. *)
+}
+
+let model_name t = t.name
+
+let position_on leg t =
+  if Time.(t <= leg.depart) then leg.from_pos
+  else if Time.(t >= leg.arrive) then leg.dest
+  else begin
+    let total = Time.to_sec (Time.diff leg.arrive leg.depart) in
+    let gone = Time.to_sec (Time.diff t leg.depart) in
+    Geom.Vec2.lerp leg.from_pos leg.dest (gone /. total)
+  end
+
+let position t time =
+  if Time.(time < t.last_query) then
+    invalid_arg "Mobility.position: query times must be non-decreasing";
+  t.last_query <- time;
+  while Time.(time > t.leg.arrive) do
+    t.leg <- t.next_leg t.leg
+  done;
+  position_on t.leg time
+
+let forever = Time.sec 1e9
+
+let static pos =
+  let leg = { depart = Time.zero; arrive = forever; from_pos = pos; dest = pos } in
+  { name = "static"; leg; last_query = Time.zero; next_leg = (fun l -> { l with depart = l.arrive; arrive = forever }) }
+
+let travel_time a b speed = Time.sec (Geom.Vec2.dist a b /. speed)
+
+let waypoint ~terrain ~rng ~speed_min ~speed_max ~pause ~start =
+  if speed_min <= 0. || speed_min > speed_max then
+    invalid_arg "Mobility.waypoint: need 0 < speed_min <= speed_max";
+  (* Legs alternate pause (from = dest) and motion. *)
+  let next_leg prev =
+    if Geom.Vec2.equal prev.from_pos prev.dest then begin
+      (* Pause done: move to a fresh waypoint. *)
+      let dest = Geom.Terrain.random_point terrain rng in
+      let speed = Rng.float_in rng speed_min speed_max in
+      { depart = prev.arrive;
+        arrive = Time.add prev.arrive (travel_time prev.dest dest speed);
+        from_pos = prev.dest;
+        dest }
+    end
+    else
+      (* Arrived: pause in place. *)
+      { depart = prev.arrive;
+        arrive = Time.add prev.arrive pause;
+        from_pos = prev.dest;
+        dest = prev.dest }
+  in
+  let first = { depart = Time.zero; arrive = pause; from_pos = start; dest = start } in
+  { name = "waypoint"; leg = first; last_query = Time.zero; next_leg }
+
+let random_walk ~terrain ~rng ~speed ~epoch ~start =
+  if speed <= 0. then invalid_arg "Mobility.random_walk: non-positive speed";
+  let next_leg prev =
+    let theta = Rng.float rng (2. *. Float.pi) in
+    let d = Time.to_sec epoch *. speed in
+    let raw = Geom.Vec2.add prev.dest (Geom.Vec2.v (d *. cos theta) (d *. sin theta)) in
+    (* Reflection approximated by clamping to the boundary; with short
+       epochs the difference from exact reflection is negligible and the
+       walk stays uniform enough for test purposes. *)
+    let dest = Geom.Terrain.clamp terrain raw in
+    { depart = prev.arrive;
+      arrive = Time.add prev.arrive (travel_time prev.dest dest speed);
+      from_pos = prev.dest;
+      dest }
+  in
+  let first = { depart = Time.zero; arrive = Time.zero; from_pos = start; dest = start } in
+  { name = "random_walk"; leg = first; last_query = Time.zero; next_leg }
+
+let scripted points =
+  let rec check = function
+    | [] | [ _ ] -> ()
+    | (t1, _) :: ((t2, _) :: _ as rest) ->
+        if Time.(t2 <= t1) then invalid_arg "Mobility.scripted: times must increase";
+        check rest
+  in
+  match points with
+  | [] -> invalid_arg "Mobility.scripted: empty trajectory"
+  | (t0, p0) :: rest ->
+      check points;
+      let remaining = ref rest in
+      let next_leg prev =
+        match !remaining with
+        | [] -> { depart = prev.arrive; arrive = forever; from_pos = prev.dest; dest = prev.dest }
+        | (t, p) :: tl ->
+            remaining := tl;
+            { depart = prev.arrive; arrive = t; from_pos = prev.dest; dest = p }
+      in
+      let first = { depart = Time.zero; arrive = t0; from_pos = p0; dest = p0 } in
+      { name = "scripted"; leg = first; last_query = Time.zero; next_leg }

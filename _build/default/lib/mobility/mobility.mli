@@ -1,0 +1,52 @@
+(** Node mobility processes.
+
+    A mobility process answers "where is this node at time [t]?".  Query
+    times must be non-decreasing for each process — the natural access
+    pattern of a discrete-event simulation — which lets every model run in
+    O(1) amortised time per query.
+
+    Models:
+    - {!static}: the node never moves.
+    - {!waypoint}: the random waypoint model used by the paper's scenarios
+      (pause, pick a uniform destination, move at a uniform-random speed).
+    - {!random_walk}: direction/epoch random walk with boundary
+      reflection; used by tests that want denser topology churn. *)
+
+type t
+
+val position : t -> Sim.Time.t -> Geom.Vec2.t
+(** Position at [t].  Raises [Invalid_argument] if [t] precedes an earlier
+    query on the same process. *)
+
+val model_name : t -> string
+
+val static : Geom.Vec2.t -> t
+
+val waypoint :
+  terrain:Geom.Terrain.t ->
+  rng:Sim.Rng.t ->
+  speed_min:float ->
+  speed_max:float ->
+  pause:Sim.Time.t ->
+  start:Geom.Vec2.t ->
+  t
+(** Random waypoint: starting from [start], the node pauses for [pause],
+    then moves to a uniform-random point of [terrain] at a speed drawn
+    uniformly from [\[speed_min, speed_max\]], and repeats.  Speeds must
+    satisfy [0 < speed_min <= speed_max]. *)
+
+val random_walk :
+  terrain:Geom.Terrain.t ->
+  rng:Sim.Rng.t ->
+  speed:float ->
+  epoch:Sim.Time.t ->
+  start:Geom.Vec2.t ->
+  t
+(** Fixed-speed walk choosing a fresh uniform direction every [epoch],
+    reflecting off the terrain boundary. *)
+
+val scripted : (Sim.Time.t * Geom.Vec2.t) list -> t
+(** Piecewise-linear trajectory through the given (time, position)
+    waypoints; constant before the first and after the last.  The list
+    must be non-empty and strictly increasing in time.  Used by tests to
+    force exact topology changes. *)

@@ -1,0 +1,1 @@
+lib/net/channel.ml: Engine Frame Geom List Node_id Packets Params Sim

@@ -1,0 +1,1 @@
+lib/net/channel.mli: Frame Geom Node_id Packets Params Sim

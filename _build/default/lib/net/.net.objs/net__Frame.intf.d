@@ -1,0 +1,1 @@
+lib/net/frame.mli: Format Node_id Packets Payload

@@ -1,0 +1,1 @@
+lib/net/mac.ml: Channel Engine Frame Ifq Int64 Node_id Packets Params Payload Rng Sim Stdlib Time

@@ -1,0 +1,1 @@
+lib/net/mac.mli: Channel Frame Geom Node_id Packets Payload Sim

@@ -1,0 +1,1 @@
+lib/net/params.mli: Sim

@@ -1,0 +1,150 @@
+open Sim
+open Packets
+
+type rx = {
+  rx_frame : Frame.t;
+  tx_dist : float;  (** receiver-to-transmitter distance, for capture *)
+  mutable corrupted : bool;
+}
+
+type radio = {
+  id : Node_id.t;
+  position : unit -> Geom.Vec2.t;
+  mutable receive : Frame.t -> unit;
+  mutable medium : bool -> unit;
+  mutable busy_count : int;  (** in-range transmissions currently in the air *)
+  mutable tx_count : int;  (** own transmissions in the air (0 or 1) *)
+  mutable current_rx : rx option;
+}
+
+type t = {
+  engine : Engine.t;
+  params : Params.t;
+  mutable radios : radio list;
+  mutable hook : Node_id.t -> Frame.t -> unit;
+  mutable tx_total : int;
+}
+
+let create ~engine ~params =
+  { engine; params; radios = []; hook = (fun _ _ -> ()); tx_total = 0 }
+
+let params t = t.params
+
+let attach t ~id ~position =
+  let r =
+    {
+      id;
+      position;
+      receive = ignore;
+      medium = ignore;
+      busy_count = 0;
+      tx_count = 0;
+      current_rx = None;
+    }
+  in
+  t.radios <- r :: t.radios;
+  r
+
+let set_receiver r f = r.receive <- f
+let set_medium_listener r f = r.medium <- f
+let radio_id r = r.id
+let transmitting r = r.tx_count > 0
+
+let carrier_busy r = r.busy_count > 0 || r.tx_count > 0
+
+let busy _t r = carrier_busy r
+
+let in_range t a b =
+  Geom.Vec2.dist2 (a.position ()) (b.position ()) <= t.params.range_m *. t.params.range_m
+
+let neighbors_in_range t r =
+  List.filter_map
+    (fun other ->
+      if other != r && in_range t r other then Some other.id else None)
+    t.radios
+
+let set_transmit_hook t f = t.hook <- f
+let transmissions t = t.tx_total
+
+let mark_busy r =
+  let was = carrier_busy r in
+  r.busy_count <- r.busy_count + 1;
+  if not was then r.medium true
+
+let mark_idle r =
+  r.busy_count <- r.busy_count - 1;
+  assert (r.busy_count >= 0);
+  if not (carrier_busy r) then r.medium false
+
+let transmit t src frame ~duration =
+  t.tx_total <- t.tx_total + 1;
+  t.hook src.id frame;
+  (* Touched radios are fixed at transmission start: node movement within
+     one frame airtime (~2 ms) is a fraction of a millimetre.  Radios out
+     to the carrier-sense range defer and suffer interference; only those
+     within decode range can receive the frame. *)
+  let src_pos = src.position () in
+  let in_cs r =
+    Geom.Vec2.dist2 src_pos (r.position ())
+    <= t.params.cs_range_m *. t.params.cs_range_m
+  in
+  let decodable r =
+    Geom.Vec2.dist2 src_pos (r.position ())
+    <= t.params.range_m *. t.params.range_m
+  in
+  let touched = List.filter (fun r -> r != src && in_cs r) t.radios in
+  let was_busy_src = carrier_busy src in
+  src.tx_count <- src.tx_count + 1;
+  if not was_busy_src then src.medium true;
+  let deliveries =
+    List.map
+      (fun r ->
+        mark_busy r;
+        let dist = Geom.Vec2.dist src_pos (r.position ()) in
+        let lock () =
+          let rx = { rx_frame = frame; tx_dist = dist; corrupted = false } in
+          r.current_rx <- Some rx;
+          (r, Some rx)
+        in
+        (* A radio that is transmitting decodes nothing.  An overlap is
+           resolved by the capture effect: the markedly closer (stronger)
+           transmitter wins; comparable powers corrupt both frames. *)
+        if r.tx_count > 0 then (r, None)
+        else
+          match r.current_rx with
+          | Some rx ->
+              let ratio = t.params.capture_distance_ratio in
+              if dist >= ratio *. rx.tx_dist then
+                (* New arrival too weak to disturb the locked frame. *)
+                (r, None)
+              else if rx.tx_dist >= ratio *. dist && decodable r then begin
+                (* New arrival captures the receiver. *)
+                rx.corrupted <- true;
+                lock ()
+              end
+              else begin
+                rx.corrupted <- true;
+                (r, None)
+              end
+          | None -> if decodable r then lock () else (r, None))
+      touched
+  in
+  ignore
+    (Engine.after t.engine duration (fun () ->
+         src.tx_count <- src.tx_count - 1;
+         if not (carrier_busy src) then src.medium false;
+         List.iter
+           (fun (r, rx_opt) ->
+             mark_idle r;
+             match rx_opt with
+             | None -> ()
+             | Some rx ->
+                 (* Only clear the lock if it is still ours (a corrupting
+                    overlap never replaces the lock, so it is). *)
+                 (match r.current_rx with
+                 | Some cur when cur == rx -> r.current_rx <- None
+                 | Some _ | None -> ());
+                 (* Starting to transmit mid-reception also kills it. *)
+                 if (not rx.corrupted) && r.tx_count = 0 then
+                   r.receive rx.rx_frame)
+           deliveries))

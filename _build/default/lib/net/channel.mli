@@ -1,0 +1,50 @@
+(** Shared radio medium.
+
+    Unit-disk propagation: a transmission reaches exactly the radios
+    within [Params.range_m] of the sender at the moment it starts.
+    Collision model: a radio that sees two temporally overlapping
+    transmissions decodes neither, and a radio that is itself transmitting
+    hears nothing.  Carrier sense is binary — the medium is busy for a
+    radio whenever at least one in-range transmission is in the air. *)
+
+open Packets
+
+type t
+
+type radio
+
+val create : engine:Sim.Engine.t -> params:Params.t -> t
+
+val params : t -> Params.t
+
+val attach : t -> id:Node_id.t -> position:(unit -> Geom.Vec2.t) -> radio
+(** Register a node's radio.  [position] is queried at event times (it
+    must be safe to call with the engine's current clock). *)
+
+val set_receiver : radio -> (Frame.t -> unit) -> unit
+(** Called with every frame the radio decodes, including frames addressed
+    to other nodes (promiscuous reception is the MAC's filtering job). *)
+
+val set_medium_listener : radio -> (bool -> unit) -> unit
+(** Called when carrier sense transitions busy<->idle for this radio. *)
+
+val transmit : t -> radio -> Frame.t -> duration:Sim.Time.t -> unit
+(** Start a transmission now.  The caller (MAC) is responsible for medium
+    access; the channel just propagates. *)
+
+val busy : t -> radio -> bool
+(** Carrier sense, including the radio's own transmission. *)
+
+val transmitting : radio -> bool
+
+val radio_id : radio -> Node_id.t
+
+val neighbors_in_range : t -> radio -> Node_id.t list
+(** Radios currently within range — used by tests and topology audits,
+    not by protocols. *)
+
+val set_transmit_hook : t -> (Node_id.t -> Frame.t -> unit) -> unit
+(** Metrics tap invoked at the start of every transmission. *)
+
+val transmissions : t -> int
+(** Total frames put on the air so far. *)

@@ -1,0 +1,29 @@
+open Packets
+
+type dst = Unicast of Node_id.t | Broadcast
+
+type body = Payload of Payload.t | Ack
+
+type t = { src : Node_id.t; dst : dst; body : body }
+
+let addressed_to t id =
+  match t.dst with Broadcast -> true | Unicast d -> Node_id.equal d id
+
+let is_ack t = match t.body with Ack -> true | Payload _ -> false
+
+let dst_equal a b =
+  match (a, b) with
+  | Broadcast, Broadcast -> true
+  | Unicast x, Unicast y -> Node_id.equal x y
+  | Broadcast, Unicast _ | Unicast _, Broadcast -> false
+
+let pp_dst fmt = function
+  | Broadcast -> Format.pp_print_string fmt "*"
+  | Unicast d -> Node_id.pp fmt d
+
+let pp fmt t =
+  match t.body with
+  | Ack -> Format.fprintf fmt "ack[%a->%a]" Node_id.pp t.src pp_dst t.dst
+  | Payload p ->
+      Format.fprintf fmt "frame[%a->%a %a]" Node_id.pp t.src pp_dst t.dst
+        Payload.pp p

@@ -1,0 +1,15 @@
+(** MAC-layer frames. *)
+
+open Packets
+
+type dst = Unicast of Node_id.t | Broadcast
+
+type body = Payload of Payload.t | Ack
+
+type t = { src : Node_id.t; dst : dst; body : body }
+
+val addressed_to : t -> Node_id.t -> bool
+val is_ack : t -> bool
+val dst_equal : dst -> dst -> bool
+val pp_dst : Format.formatter -> dst -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+type 'a t = { q : 'a Queue.t; capacity : int; mutable drops : int }
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ifq.create: non-positive capacity";
+  { q = Queue.create (); capacity; drops = 0 }
+
+let push t x =
+  if Queue.length t.q >= t.capacity then begin
+    t.drops <- t.drops + 1;
+    false
+  end
+  else begin
+    Queue.push x t.q;
+    true
+  end
+
+let pop t = Queue.take_opt t.q
+let length t = Queue.length t.q
+let is_empty t = Queue.is_empty t.q
+let drops t = t.drops

@@ -1,0 +1,14 @@
+(** Drop-tail interface queue between the routing layer and the MAC. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+
+val push : 'a t -> 'a -> bool
+(** False (and the element is dropped) when the queue is full. *)
+
+val pop : 'a t -> 'a option
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val drops : 'a t -> int
+(** Count of elements rejected by {!push} so far. *)

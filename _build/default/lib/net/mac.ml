@@ -1,0 +1,214 @@
+open Sim
+open Packets
+
+type callbacks = {
+  receive : Payload.t -> from:Node_id.t -> unit;
+  promiscuous : Payload.t -> from:Node_id.t -> dst:Frame.dst -> unit;
+  link_failure : Payload.t -> next_hop:Node_id.t -> unit;
+}
+
+type pending = { payload : Payload.t; dst : Frame.dst }
+
+type phase =
+  | Idle
+  | Access  (** counting down DIFS + backoff *)
+  | Sending
+  | Await_ack
+
+type t = {
+  engine : Engine.t;
+  channel : Channel.t;
+  params : Params.t;
+  rng : Rng.t;
+  my_id : Node_id.t;
+  radio : Channel.radio;
+  cb : callbacks;
+  queue : pending Ifq.t;
+  mutable phase : phase;
+  mutable current : pending option;
+  mutable attempts : int;
+  mutable cw : int;
+  mutable slots : int;  (** backoff slots still to count down *)
+  mutable access_timer : Engine.handle option;
+  mutable access_started : Time.t;
+  mutable ack_timer : Engine.handle option;
+  mutable failures : int;
+  mutable sent : int;
+}
+
+let id t = t.my_id
+let queue_length t = Ifq.length t.queue
+let queue_drops t = Ifq.drops t.queue
+let unicast_failures t = t.failures
+let frames_sent t = t.sent
+let radio t = t.radio
+
+let payload_frame t pending =
+  { Frame.src = t.my_id; dst = pending.dst; body = Frame.Payload pending.payload }
+
+let frame_duration t pending =
+  Params.data_airtime t.params
+    ~payload_bytes:(Payload.size_bytes pending.payload)
+
+let rec dequeue_next t =
+  assert (t.current = None);
+  match Ifq.pop t.queue with
+  | None -> t.phase <- Idle
+  | Some p ->
+      t.current <- Some p;
+      t.attempts <- 1;
+      t.cw <- t.params.cw_min;
+      begin_access t
+
+and begin_access t =
+  t.phase <- Access;
+  t.slots <- Rng.int t.rng (t.cw + 1);
+  maybe_arm t
+
+(* Arm the DIFS+backoff countdown if the medium is idle. *)
+and maybe_arm t =
+  if t.phase = Access && t.access_timer = None
+     && not (Channel.busy t.channel t.radio)
+  then begin
+    let wait = Time.add t.params.difs (Time.mul t.params.slot t.slots) in
+    t.access_started <- Engine.now t.engine;
+    t.access_timer <-
+      Some
+        (Engine.after t.engine wait (fun () ->
+             t.access_timer <- None;
+             if Channel.busy t.channel t.radio then ()
+               (* Lost the race with a same-instant transmission; the
+                  medium_changed(false) callback will re-arm us. *)
+             else do_transmit t))
+  end
+
+and do_transmit t =
+  match t.current with
+  | None -> assert false
+  | Some p ->
+      t.phase <- Sending;
+      t.sent <- t.sent + 1;
+      let duration = frame_duration t p in
+      Channel.transmit t.channel t.radio (payload_frame t p) ~duration;
+      ignore (Engine.after t.engine duration (fun () -> tx_done t p))
+
+and tx_done t p =
+  match p.dst with
+  | Frame.Broadcast -> finish t
+  | Frame.Unicast next_hop ->
+      t.phase <- Await_ack;
+      t.ack_timer <-
+        Some
+          (Engine.after t.engine (Params.ack_timeout t.params) (fun () ->
+               t.ack_timer <- None;
+               retry t p next_hop))
+
+and finish t =
+  t.current <- None;
+  t.phase <- Idle;
+  dequeue_next t
+
+and retry t p next_hop =
+  if t.attempts >= t.params.retry_limit then begin
+    t.failures <- t.failures + 1;
+    t.current <- None;
+    t.phase <- Idle;
+    t.cb.link_failure p.payload ~next_hop;
+    (* The callback may have enqueued follow-up traffic (e.g. a RERR);
+       only restart the service loop if it has not already done so by
+       observing Idle. *)
+    if t.phase = Idle && t.current = None then dequeue_next t
+  end
+  else begin
+    t.attempts <- t.attempts + 1;
+    t.cw <- Stdlib.min (((t.cw + 1) * 2) - 1) t.params.cw_max;
+    begin_access t
+  end
+
+let ack_received t from =
+  match (t.phase, t.current) with
+  | Await_ack, Some { dst = Frame.Unicast nh; _ } when Node_id.equal nh from
+    ->
+      (match t.ack_timer with
+      | Some h ->
+          Engine.cancel h;
+          t.ack_timer <- None
+      | None -> ());
+      finish t
+  | _ -> ()
+
+let send_ack t ~to_ =
+  (* ACKs answer after SIFS regardless of carrier sense (802.11), but a
+     radio cannot transmit two frames at once. *)
+  ignore
+    (Engine.after t.engine t.params.sifs (fun () ->
+         if not (Channel.transmitting t.radio) then
+           Channel.transmit t.channel t.radio
+             { Frame.src = t.my_id; dst = Frame.Unicast to_; body = Frame.Ack }
+             ~duration:(Params.ack_airtime t.params)))
+
+let on_frame t (f : Frame.t) =
+  match f.body with
+  | Frame.Ack -> if Frame.addressed_to f t.my_id then ack_received t f.src
+  | Frame.Payload payload -> (
+      match f.dst with
+      | Frame.Broadcast -> t.cb.receive payload ~from:f.src
+      | Frame.Unicast d when Node_id.equal d t.my_id ->
+          send_ack t ~to_:f.src;
+          t.cb.receive payload ~from:f.src
+      | Frame.Unicast _ -> t.cb.promiscuous payload ~from:f.src ~dst:f.dst)
+
+let on_medium t busy =
+  if busy then begin
+    if t.phase = Access then
+      match t.access_timer with
+      | None -> ()
+      | Some h ->
+          Engine.cancel h;
+          t.access_timer <- None;
+          (* Slots consumed while the medium was idle. *)
+          let elapsed = Time.diff (Engine.now t.engine) t.access_started in
+          let after_difs =
+            if Time.(elapsed > t.params.difs) then
+              Time.diff elapsed t.params.difs
+            else Time.zero
+          in
+          let consumed =
+            Int64.to_int
+              (Int64.div (Time.to_ns after_difs) (Time.to_ns t.params.slot))
+          in
+          t.slots <- Stdlib.max 0 (t.slots - consumed)
+  end
+  else maybe_arm t
+
+let create ~engine ~channel ~rng ~id ~position callbacks =
+  let radio = Channel.attach channel ~id ~position in
+  let t =
+    {
+      engine;
+      channel;
+      params = Channel.params channel;
+      rng;
+      my_id = id;
+      radio;
+      cb = callbacks;
+      queue = Ifq.create ~capacity:(Channel.params channel).ifq_capacity;
+      phase = Idle;
+      current = None;
+      attempts = 0;
+      cw = (Channel.params channel).cw_min;
+      slots = 0;
+      access_timer = None;
+      access_started = Time.zero;
+      ack_timer = None;
+      failures = 0;
+      sent = 0;
+    }
+  in
+  Channel.set_receiver radio (on_frame t);
+  Channel.set_medium_listener radio (on_medium t);
+  t
+
+let send t ~dst payload =
+  let accepted = Ifq.push t.queue { payload; dst } in
+  if accepted && t.phase = Idle && t.current = None then dequeue_next t

@@ -1,0 +1,47 @@
+open Sim
+
+type t = {
+  range_m : float;
+  cs_range_m : float;
+  capture_distance_ratio : float;
+  bit_rate : float;
+  preamble : Time.t;
+  slot : Time.t;
+  sifs : Time.t;
+  difs : Time.t;
+  cw_min : int;
+  cw_max : int;
+  mac_overhead_bytes : int;
+  ack_bytes : int;
+  retry_limit : int;
+  ifq_capacity : int;
+}
+
+let default =
+  {
+    range_m = 275.;
+    cs_range_m = 550.;
+    capture_distance_ratio = 1.78;
+    bit_rate = 2e6;
+    preamble = Time.us 192.;
+    slot = Time.us 20.;
+    sifs = Time.us 10.;
+    difs = Time.us 50.;
+    cw_min = 31;
+    cw_max = 1023;
+    mac_overhead_bytes = 34;
+    ack_bytes = 14;
+    retry_limit = 7;
+    ifq_capacity = 50;
+  }
+
+let bytes_airtime t bytes = Time.sec (float_of_int (bytes * 8) /. t.bit_rate)
+
+let data_airtime t ~payload_bytes =
+  Time.add t.preamble (bytes_airtime t (payload_bytes + t.mac_overhead_bytes))
+
+let ack_airtime t = Time.add t.preamble (bytes_airtime t t.ack_bytes)
+
+let ack_timeout t =
+  (* SIFS + ACK airtime + a two-slot scheduling margin. *)
+  Time.add t.sifs (Time.add (ack_airtime t) (Time.mul t.slot 2))

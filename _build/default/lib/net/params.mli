@@ -1,0 +1,40 @@
+(** Radio and MAC parameters.
+
+    Defaults follow the 802.11 DSSS configuration of the paper's GloMoSim
+    setup: 2 Mbps data rate and a 275 m nominal transmission range. *)
+
+type t = {
+  range_m : float;  (** unit-disk decode range *)
+  cs_range_m : float;
+      (** carrier-sense / interference range.  Real receivers detect
+          carriers well below the decode threshold (ns-2 ships 550 m CS
+          for a 250 m decode range); modelling it suppresses most
+          hidden-terminal collisions, standing in for RTS/CTS + NAV. *)
+  capture_distance_ratio : float;
+      (** capture effect: a reception survives an interferer whose
+          distance to the receiver is at least this factor times the
+          wanted transmitter's distance (10 dB SIR under a path-loss
+          exponent of 4 gives 1.78).  Two comparable-power overlaps
+          corrupt both frames. *)
+  bit_rate : float;  (** bits per second *)
+  preamble : Sim.Time.t;  (** PHY preamble+PLCP header airtime *)
+  slot : Sim.Time.t;
+  sifs : Sim.Time.t;
+  difs : Sim.Time.t;
+  cw_min : int;  (** initial contention window (slots - 1) *)
+  cw_max : int;
+  mac_overhead_bytes : int;  (** MAC header + FCS on data frames *)
+  ack_bytes : int;
+  retry_limit : int;  (** unicast attempts before declaring link failure *)
+  ifq_capacity : int;  (** interface queue length, packets *)
+}
+
+val default : t
+
+val data_airtime : t -> payload_bytes:int -> Sim.Time.t
+(** Airtime of a data frame carrying [payload_bytes] of network payload. *)
+
+val ack_airtime : t -> Sim.Time.t
+
+val ack_timeout : t -> Sim.Time.t
+(** How long a sender waits for an ACK after its transmission ends. *)

@@ -1,0 +1,1 @@
+lib/packets/aodv_msg.ml: Format List Node_id Sim

@@ -1,0 +1,1 @@
+lib/packets/aodv_msg.mli: Format Node_id Sim

@@ -1,0 +1,1 @@
+lib/packets/data_msg.ml: Format Node_id Sim

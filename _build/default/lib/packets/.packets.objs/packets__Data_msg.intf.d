@@ -1,0 +1,1 @@
+lib/packets/data_msg.mli: Format Node_id Sim

@@ -1,0 +1,1 @@
+lib/packets/dsr_msg.ml: Data_msg Format List Node_id

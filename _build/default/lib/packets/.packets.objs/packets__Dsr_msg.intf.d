@@ -1,0 +1,1 @@
+lib/packets/dsr_msg.mli: Data_msg Format Node_id

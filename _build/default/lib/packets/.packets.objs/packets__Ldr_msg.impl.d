@@ -1,0 +1,1 @@
+lib/packets/ldr_msg.ml: Format List Node_id Seqnum Sim

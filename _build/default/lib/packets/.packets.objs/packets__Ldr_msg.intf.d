@@ -1,0 +1,1 @@
+lib/packets/ldr_msg.mli: Format Node_id Seqnum Sim

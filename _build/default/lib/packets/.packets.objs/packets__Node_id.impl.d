@@ -1,0 +1,1 @@
+lib/packets/node_id.ml: Format Hashtbl Int Map Set

@@ -1,0 +1,1 @@
+lib/packets/node_id.mli: Format Hashtbl Map Set

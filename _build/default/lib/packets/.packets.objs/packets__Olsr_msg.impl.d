@@ -1,0 +1,1 @@
+lib/packets/olsr_msg.ml: Format List Node_id

@@ -1,0 +1,1 @@
+lib/packets/olsr_msg.mli: Format Node_id

@@ -1,0 +1,1 @@
+lib/packets/payload.ml: Aodv_msg Data_msg Dsr_msg Ldr_msg Olsr_msg

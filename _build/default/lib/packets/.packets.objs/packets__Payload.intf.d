@@ -1,0 +1,1 @@
+lib/packets/payload.mli: Aodv_msg Data_msg Dsr_msg Format Ldr_msg Olsr_msg

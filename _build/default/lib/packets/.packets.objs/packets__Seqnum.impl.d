@@ -1,0 +1,1 @@
+lib/packets/seqnum.ml: Format Int Stdlib

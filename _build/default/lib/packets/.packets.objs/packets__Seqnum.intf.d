@@ -1,0 +1,1 @@
+lib/packets/seqnum.mli: Format

@@ -1,0 +1,39 @@
+type rreq = {
+  dst : Node_id.t;
+  dst_sn : int option;
+  rreq_id : int;
+  origin : Node_id.t;
+  origin_sn : int;
+  hop_count : int;
+  ttl : int;
+}
+
+type rrep = {
+  dst : Node_id.t;
+  dst_sn : int;
+  origin : Node_id.t;
+  hop_count : int;
+  lifetime : Sim.Time.t;
+}
+
+type rerr = { unreachable : (Node_id.t * int) list }
+
+type t = Rreq of rreq | Rrep of rrep | Rerr of rerr
+
+(* RFC 3561 wire formats. *)
+let size_bytes = function
+  | Rreq _ -> 24
+  | Rrep _ -> 20
+  | Rerr { unreachable } -> 4 + (List.length unreachable * 8)
+
+let kind = function Rreq _ -> "RREQ" | Rrep _ -> "RREP" | Rerr _ -> "RERR"
+
+let pp fmt = function
+  | Rreq r ->
+      Format.fprintf fmt "aodv-rreq[dst=%a id=(%a,%d) hops=%d ttl=%d]"
+        Node_id.pp r.dst Node_id.pp r.origin r.rreq_id r.hop_count r.ttl
+  | Rrep r ->
+      Format.fprintf fmt "aodv-rrep[dst=%a sn=%d hops=%d to=%a]" Node_id.pp
+        r.dst r.dst_sn r.hop_count Node_id.pp r.origin
+  | Rerr { unreachable } ->
+      Format.fprintf fmt "aodv-rerr[%d dests]" (List.length unreachable)

@@ -1,0 +1,28 @@
+(** AODV control messages (draft-10 era, as used in the paper's
+    comparison). *)
+
+type rreq = {
+  dst : Node_id.t;
+  dst_sn : int option;  (** [None] = unknown-sequence-number flag *)
+  rreq_id : int;
+  origin : Node_id.t;
+  origin_sn : int;
+  hop_count : int;
+  ttl : int;
+}
+
+type rrep = {
+  dst : Node_id.t;
+  dst_sn : int;
+  origin : Node_id.t;  (** node the reply travels to *)
+  hop_count : int;
+  lifetime : Sim.Time.t;
+}
+
+type rerr = { unreachable : (Node_id.t * int) list }
+
+type t = Rreq of rreq | Rrep of rrep | Rerr of rerr
+
+val size_bytes : t -> int
+val kind : t -> string
+val pp : Format.formatter -> t -> unit

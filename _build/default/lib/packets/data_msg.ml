@@ -1,0 +1,27 @@
+type t = {
+  flow_id : int;
+  seq : int;
+  src : Node_id.t;
+  dst : Node_id.t;
+  payload_bytes : int;
+  origin_time : Sim.Time.t;
+  ttl : int;
+  hops : int;
+}
+
+let default_ttl = 64
+
+let fresh ~flow_id ~seq ~src ~dst ~payload_bytes ~origin_time =
+  { flow_id; seq; src; dst; payload_bytes; origin_time; ttl = default_ttl; hops = 0 }
+
+let hop t = { t with hops = t.hops + 1 }
+let uid t = (t.flow_id, t.seq)
+let decr_ttl t = if t.ttl <= 1 then None else Some { t with ttl = t.ttl - 1 }
+
+let ip_header = 20
+
+let size_bytes t = t.payload_bytes + ip_header
+
+let pp fmt t =
+  Format.fprintf fmt "data[f%d#%d %a->%a]" t.flow_id t.seq Node_id.pp t.src
+    Node_id.pp t.dst

@@ -1,0 +1,38 @@
+(** Application (CBR) data packets. *)
+
+type t = {
+  flow_id : int;
+  seq : int;  (** per-flow packet counter *)
+  src : Node_id.t;
+  dst : Node_id.t;
+  payload_bytes : int;
+  origin_time : Sim.Time.t;  (** when the application emitted it *)
+  ttl : int;  (** IP-style hop budget, decremented per forward *)
+  hops : int;  (** transmissions so far; at delivery, the path length *)
+}
+
+val default_ttl : int
+
+val fresh :
+  flow_id:int ->
+  seq:int ->
+  src:Node_id.t ->
+  dst:Node_id.t ->
+  payload_bytes:int ->
+  origin_time:Sim.Time.t ->
+  t
+(** A newly originated packet: full TTL, zero hops. *)
+
+val hop : t -> t
+(** Account one transmission. *)
+
+val uid : t -> int * int
+(** (flow_id, seq): unique across a run; keys end-to-end accounting. *)
+
+val decr_ttl : t -> t option
+(** [None] when the hop budget is exhausted. *)
+
+val size_bytes : t -> int
+(** Payload plus a 20-byte IP header. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+type rreq = {
+  origin : Node_id.t;
+  dst : Node_id.t;
+  rreq_id : int;
+  route : Node_id.t list;
+  ttl : int;
+}
+
+type rrep = {
+  origin : Node_id.t;
+  dst : Node_id.t;
+  full_route : Node_id.t list;
+}
+
+type rerr = {
+  err_from : Node_id.t;
+  broken_from : Node_id.t;
+  broken_to : Node_id.t;
+  err_dst : Node_id.t;
+}
+
+type t =
+  | Rreq of rreq
+  | Rrep of { sr_remaining : Node_id.t list; rrep : rrep }
+  | Rerr of { sr_remaining : Node_id.t list; rerr : rerr }
+  | Data of {
+      sr_remaining : Node_id.t list;
+      full_route : Node_id.t list;
+      data : Data_msg.t;
+      salvage : int;
+    }
+
+let addr = 4
+
+(* DSR option formats: fixed option header plus one address per hop. *)
+let size_bytes = function
+  | Rreq r -> 12 + (addr * List.length r.route)
+  | Rrep { rrep; _ } -> 12 + (addr * List.length rrep.full_route)
+  | Rerr _ -> 20
+  | Data { full_route; data; _ } ->
+      Data_msg.size_bytes data + 8 + (addr * List.length full_route)
+
+let kind = function
+  | Rreq _ -> "RREQ"
+  | Rrep _ -> "RREP"
+  | Rerr _ -> "RERR"
+  | Data _ -> "DATA"
+
+let pp_route fmt route =
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ">")
+       Node_id.pp)
+    route
+
+let pp fmt = function
+  | Rreq r ->
+      Format.fprintf fmt "dsr-rreq[%a->%a id=%d via %a]" Node_id.pp r.origin
+        Node_id.pp r.dst r.rreq_id pp_route r.route
+  | Rrep { rrep; _ } ->
+      Format.fprintf fmt "dsr-rrep[%a->%a %a]" Node_id.pp rrep.dst Node_id.pp
+        rrep.origin pp_route rrep.full_route
+  | Rerr { rerr; _ } ->
+      Format.fprintf fmt "dsr-rerr[%a-%a broken]" Node_id.pp rerr.broken_from
+        Node_id.pp rerr.broken_to
+  | Data { data; sr_remaining; _ } ->
+      Format.fprintf fmt "dsr-%a via %a" Data_msg.pp data pp_route
+        sr_remaining

@@ -1,0 +1,45 @@
+(** DSR messages.
+
+    DSR control and data packets carry explicit routes.  [sr_remaining]
+    lists the hops still to traverse (next hop first); agents rebuild the
+    payload at each hop with the head consumed. *)
+
+type rreq = {
+  origin : Node_id.t;
+  dst : Node_id.t;
+  rreq_id : int;
+  route : Node_id.t list;
+      (** accumulated relay addresses, origin first, excluding origin
+          itself per the DSR spec — so a one-hop request has [route = []] *)
+  ttl : int;
+}
+
+type rrep = {
+  origin : Node_id.t;  (** requester the reply is for *)
+  dst : Node_id.t;
+  full_route : Node_id.t list;  (** origin .. dst inclusive *)
+}
+
+type rerr = {
+  err_from : Node_id.t;  (** node that detected the break *)
+  broken_from : Node_id.t;
+  broken_to : Node_id.t;
+  err_dst : Node_id.t;  (** source being told *)
+}
+
+type t =
+  | Rreq of rreq
+  | Rrep of { sr_remaining : Node_id.t list; rrep : rrep }
+  | Rerr of { sr_remaining : Node_id.t list; rerr : rerr }
+  | Data of {
+      sr_remaining : Node_id.t list;
+      full_route : Node_id.t list;  (** origin .. dst, for cache snooping *)
+      data : Data_msg.t;
+      salvage : int;  (** times this packet has been salvaged *)
+    }
+
+val size_bytes : t -> int
+val kind : t -> string
+(** "RREQ" | "RREP" | "RERR" | "DATA". *)
+
+val pp : Format.formatter -> t -> unit

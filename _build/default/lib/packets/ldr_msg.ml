@@ -1,0 +1,60 @@
+type rreq = {
+  dst : Node_id.t;
+  dst_sn : Seqnum.t option;
+  rreq_id : int;
+  origin : Node_id.t;
+  origin_sn : Seqnum.t;
+  fd : int;
+  answer_dist : int;
+  dist : int;
+  ttl : int;
+  reset : bool;
+  no_reverse : bool;
+  unicast_probe : bool;
+}
+
+type rrep = {
+  dst : Node_id.t;
+  dst_sn : Seqnum.t;
+  origin : Node_id.t;
+  rreq_id : int;
+  dist : int;
+  lifetime : Sim.Time.t;
+  rrep_no_reverse : bool;
+}
+
+type rerr = { unreachable : (Node_id.t * Seqnum.t option) list }
+
+type t = Rreq of rreq | Rrep of rrep | Rerr of rerr
+
+(* Sizes mirror the AODV message layouts (the paper bases LDR's messaging
+   on AODV) plus LDR's extra fields: 8-byte labeled sequence numbers
+   instead of 4-byte ones, and the fd / answer_dist words in the RREQ. *)
+let size_bytes = function
+  | Rreq _ ->
+      (* type/flags/ttl 4 + rreq_id 4 + dst 4 + dst_sn 8 + origin 4
+         + origin_sn 8 + fd 4 + answer_dist 4 + dist 4 *)
+      44
+  | Rrep _ ->
+      (* type/flags 4 + dst 4 + dst_sn 8 + origin 4 + rreq_id 4 + dist 4
+         + lifetime 4 *)
+      32
+  | Rerr { unreachable } -> 4 + (List.length unreachable * 12)
+
+let kind = function Rreq _ -> "RREQ" | Rrep _ -> "RREP" | Rerr _ -> "RERR"
+
+let pp fmt = function
+  | Rreq r ->
+      Format.fprintf fmt
+        "ldr-rreq[dst=%a id=(%a,%d) fd=%d ad=%d dist=%d ttl=%d%s%s%s]"
+        Node_id.pp r.dst Node_id.pp r.origin r.rreq_id r.fd r.answer_dist
+        r.dist r.ttl
+        (if r.reset then " T" else "")
+        (if r.no_reverse then " N" else "")
+        (if r.unicast_probe then " D" else "")
+  | Rrep r ->
+      Format.fprintf fmt "ldr-rrep[dst=%a sn=%a dist=%d to=(%a,%d)]"
+        Node_id.pp r.dst Seqnum.pp r.dst_sn r.dist Node_id.pp r.origin
+        r.rreq_id
+  | Rerr { unreachable } ->
+      Format.fprintf fmt "ldr-rerr[%d dests]" (List.length unreachable)

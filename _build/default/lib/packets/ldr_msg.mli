@@ -1,0 +1,44 @@
+(** LDR control messages (paper, Section 2).
+
+    A RREQ is simultaneously a {e solicitation} for a route to [dst] and
+    an {e advertisement} of a route back to [origin]; a RREP is an
+    advertisement for [dst] addressed to the computation's origin. *)
+
+type rreq = {
+  dst : Node_id.t;
+  dst_sn : Seqnum.t option;  (** [None]: origin has no information on [dst] *)
+  rreq_id : int;  (** origin-scoped computation identifier *)
+  origin : Node_id.t;
+  origin_sn : Seqnum.t;  (** advertisement part: origin's own number *)
+  fd : int;  (** requested feasible distance (Eq. 6 running minimum) *)
+  answer_dist : int;
+      (** distance bound tested by SDC; equals [fd] unless the
+          reduced-distance optimization lowered it *)
+  dist : int;  (** measured distance travelled by this RREQ copy *)
+  ttl : int;
+  reset : bool;  (** T bit: ordering violated upstream, path must be reset *)
+  no_reverse : bool;  (** N bit: some relay had no reverse route to origin *)
+  unicast_probe : bool;
+      (** D bit: RREQ forwarded as a unicast straight to the destination
+          (the T-bit reset path, and N-bit forward-path probes) *)
+}
+
+type rrep = {
+  dst : Node_id.t;
+  dst_sn : Seqnum.t;
+  origin : Node_id.t;  (** terminus: the RREQ origin this reply answers *)
+  rreq_id : int;
+  dist : int;
+  lifetime : Sim.Time.t;
+  rrep_no_reverse : bool;  (** N bit echoed into the reply *)
+}
+
+type rerr = { unreachable : (Node_id.t * Seqnum.t option) list }
+
+type t = Rreq of rreq | Rrep of rrep | Rerr of rerr
+
+val size_bytes : t -> int
+val kind : t -> string
+(** "RREQ" | "RREP" | "RERR" — metrics bucket. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+(** Node identifiers.
+
+    Dense small integers: simulations index per-node arrays by id. *)
+
+type t = private int
+
+val of_int : int -> t
+(** Raises [Invalid_argument] on negatives. *)
+
+val to_int : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,33 @@
+type link_kind = Sym | Asym | Mpr
+
+type hello = { neighbors : (Node_id.t * link_kind) list }
+
+type tc = { tc_origin : Node_id.t; ansn : int; advertised : Node_id.t list }
+
+type t =
+  | Hello of hello
+  | Tc of { origin : Node_id.t; msg_seq : int; ttl : int; tc : tc }
+
+(* RFC 3626: 16-byte packet+message headers, 4 bytes per listed address
+   (with link-code blocks approximated into the per-address cost). *)
+let size_bytes = function
+  | Hello { neighbors } -> 16 + (List.length neighbors * 8)
+  | Tc { tc; _ } -> 20 + (List.length tc.advertised * 4)
+
+let kind = function Hello _ -> "HELLO" | Tc _ -> "TC"
+
+let pp_kind fmt = function
+  | Sym -> Format.pp_print_string fmt "sym"
+  | Asym -> Format.pp_print_string fmt "asym"
+  | Mpr -> Format.pp_print_string fmt "mpr"
+
+let pp fmt = function
+  | Hello { neighbors } ->
+      Format.fprintf fmt "olsr-hello[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.pp_print_string f " ")
+           (fun f (n, k) -> Format.fprintf f "%a:%a" Node_id.pp n pp_kind k))
+        neighbors
+  | Tc { origin; msg_seq; tc; _ } ->
+      Format.fprintf fmt "olsr-tc[%a#%d ansn=%d %d sel]" Node_id.pp origin
+        msg_seq tc.ansn (List.length tc.advertised)

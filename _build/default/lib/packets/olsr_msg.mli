@@ -1,0 +1,25 @@
+(** OLSR control messages (RFC 3626 subset: HELLO and TC). *)
+
+type link_kind =
+  | Sym  (** bidirectional link confirmed *)
+  | Asym  (** heard but not yet confirmed bidirectional *)
+  | Mpr  (** symmetric neighbor selected as multipoint relay *)
+
+type hello = { neighbors : (Node_id.t * link_kind) list }
+
+type tc = {
+  tc_origin : Node_id.t;
+  ansn : int;  (** advertised neighbor sequence number *)
+  advertised : Node_id.t list;  (** the origin's MPR selectors *)
+}
+
+type t =
+  | Hello of hello
+  | Tc of { origin : Node_id.t; msg_seq : int; ttl : int; tc : tc }
+      (** flooding envelope: duplicate set keyed by (origin, msg_seq) *)
+
+val size_bytes : t -> int
+val kind : t -> string
+(** "HELLO" | "TC". *)
+
+val pp : Format.formatter -> t -> unit

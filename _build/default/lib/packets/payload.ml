@@ -1,0 +1,30 @@
+type t =
+  | Data of Data_msg.t
+  | Ldr of Ldr_msg.t
+  | Aodv of Aodv_msg.t
+  | Dsr of Dsr_msg.t
+  | Olsr of Olsr_msg.t
+
+let size_bytes = function
+  | Data d -> Data_msg.size_bytes d
+  | Ldr m -> Ldr_msg.size_bytes m
+  | Aodv m -> Aodv_msg.size_bytes m
+  | Dsr m -> Dsr_msg.size_bytes m
+  | Olsr m -> Olsr_msg.size_bytes m
+
+let classify = function
+  | Data d -> `Data d
+  | Dsr (Dsr_msg.Data { data; _ }) -> `Data data
+  | Ldr m -> `Control (Ldr_msg.kind m)
+  | Aodv m -> `Control (Aodv_msg.kind m)
+  | Dsr m -> `Control (Dsr_msg.kind m)
+  | Olsr m -> `Control (Olsr_msg.kind m)
+
+let is_data t = match classify t with `Data _ -> true | `Control _ -> false
+
+let pp fmt = function
+  | Data d -> Data_msg.pp fmt d
+  | Ldr m -> Ldr_msg.pp fmt m
+  | Aodv m -> Aodv_msg.pp fmt m
+  | Dsr m -> Dsr_msg.pp fmt m
+  | Olsr m -> Olsr_msg.pp fmt m

@@ -1,0 +1,18 @@
+(** Network-layer payloads: one sum over every protocol's messages. *)
+
+type t =
+  | Data of Data_msg.t  (** data routed hop-by-hop (LDR / AODV / OLSR) *)
+  | Ldr of Ldr_msg.t
+  | Aodv of Aodv_msg.t
+  | Dsr of Dsr_msg.t  (** includes DSR's source-routed data *)
+  | Olsr of Olsr_msg.t
+
+val size_bytes : t -> int
+
+val classify : t -> [ `Data of Data_msg.t | `Control of string ]
+(** Data packets (including data inside DSR source-route headers) vs
+    control packets labelled with their metrics bucket
+    ("RREQ", "RREP", "RERR", "HELLO", "TC"). *)
+
+val is_data : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+type t = { stamp : int; counter : int }
+
+let initial ~stamp = { stamp; counter = 0 }
+
+let compare a b =
+  let c = Int.compare a.stamp b.stamp in
+  if c <> 0 then c else Int.compare a.counter b.counter
+
+let equal a b = compare a b = 0
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let max a b = if a >= b then a else b
+
+let default_limit = 1 lsl 30
+
+let increment ?(counter_limit = default_limit) ~now_stamp t =
+  if Stdlib.( >= ) t.counter counter_limit then begin
+    (* Counter saturated: restamp from the clock.  The clock never runs
+       backwards, so the fresh stamp exceeds the stored one. *)
+    assert (Stdlib.( > ) now_stamp t.stamp);
+    { stamp = now_stamp; counter = 0 }
+  end
+  else { t with counter = t.counter + 1 }
+
+let increments t = t.counter
+let size_bytes = 8
+let pp fmt t = Format.fprintf fmt "%d.%d" t.stamp t.counter

@@ -1,0 +1,37 @@
+(** LDR labeled sequence numbers (paper, Section 3).
+
+    A sequence number is a pair (timestamp, counter).  Only the owning
+    destination increments its own number.  When the counter saturates,
+    the node takes a fresh timestamp from its clock and resets the counter
+    to zero — so numbers keep increasing without synchronized clocks,
+    network-wide resets, or AODV's reboot-hold procedure.  Comparison is
+    lexicographic. *)
+
+type t = { stamp : int; counter : int }
+
+val initial : stamp:int -> t
+(** First number a destination uses: counter 0 at the given clock stamp. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val max : t -> t -> t
+
+val increment : ?counter_limit:int -> now_stamp:int -> t -> t
+(** The destination-only increment.  Bumps the counter; at
+    [counter_limit] (default [2^30]) the counter wraps to zero under a
+    fresh [now_stamp], which must be strictly greater than the stored
+    stamp for the result to remain increasing (asserted). *)
+
+val increments : t -> int
+(** Total increments implied by [t] within its current stamp: the counter
+    value.  Used by the Fig-7 metric (mean destination sequence number),
+    which for LDR counts how often destinations had to bump. *)
+
+val size_bytes : int
+(** Wire size: 4-byte stamp + 4-byte counter. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/routing/agent.mli: Data_msg Net Node_id Packets Payload Sim

@@ -1,0 +1,1 @@
+lib/routing/discovery.ml: Sim Stdlib Time

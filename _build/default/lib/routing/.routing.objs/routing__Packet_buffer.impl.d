@@ -1,0 +1,1 @@
+lib/routing/packet_buffer.ml: Data_msg Engine List Node_id Packets Queue Sim Time

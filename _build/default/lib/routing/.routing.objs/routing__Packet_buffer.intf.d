@@ -1,0 +1,1 @@
+lib/routing/packet_buffer.mli: Data_msg Node_id Packets Sim

@@ -1,0 +1,1 @@
+lib/routing/rreq_cache.ml: Engine Hashtbl List Node_id Packets Sim Time

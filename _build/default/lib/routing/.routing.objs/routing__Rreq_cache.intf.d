@@ -1,0 +1,1 @@
+lib/routing/rreq_cache.mli: Node_id Packets Sim

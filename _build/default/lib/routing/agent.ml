@@ -1,0 +1,36 @@
+open Packets
+
+type ctx = {
+  id : Node_id.t;
+  engine : Sim.Engine.t;
+  rng : Sim.Rng.t;
+  send : dst:Net.Frame.dst -> Payload.t -> unit;
+  deliver : Data_msg.t -> unit;
+  drop_data : Data_msg.t -> reason:string -> unit;
+  event : string -> unit;
+  table_changed : unit -> unit;
+}
+
+type t = {
+  origin_data : Data_msg.t -> unit;
+  recv : Payload.t -> from:Node_id.t -> unit;
+  overheard : Payload.t -> from:Node_id.t -> dst:Net.Frame.dst -> unit;
+  link_failure : Payload.t -> next_hop:Node_id.t -> unit;
+  start : unit -> unit;
+  successor : Node_id.t -> Node_id.t option;
+  own_seqno : unit -> float;
+}
+
+type factory = ctx -> t
+
+let null_ctx ?(id = 0) engine =
+  {
+    id = Node_id.of_int id;
+    engine;
+    rng = Sim.Rng.create 42;
+    send = (fun ~dst:_ _ -> ());
+    deliver = ignore;
+    drop_data = (fun _ ~reason:_ -> ());
+    event = ignore;
+    table_changed = ignore;
+  }

@@ -1,0 +1,53 @@
+(** The interface every routing protocol implements.
+
+    A protocol is a {!factory}: given a per-node {!ctx} (the services the
+    node stack provides), it returns the {!t} record of entry points the
+    stack invokes.  Using plain records keeps the four protocols
+    hot-swappable in the experiment runner and lets unit tests drive an
+    agent with a hand-rolled context, no simulator required. *)
+
+open Packets
+
+type ctx = {
+  id : Node_id.t;
+  engine : Sim.Engine.t;
+  rng : Sim.Rng.t;
+  send : dst:Net.Frame.dst -> Payload.t -> unit;
+      (** hand a packet to the MAC (unicast with ACK/retries, or
+          broadcast) *)
+  deliver : Data_msg.t -> unit;
+      (** data arrived at its destination: hand to the application *)
+  drop_data : Data_msg.t -> reason:string -> unit;
+      (** data given up on (no route, buffer overflow, TTL...) *)
+  event : string -> unit;
+      (** protocol-event counters for the paper's metrics, e.g.
+          "rreq_init", "rrep_init", "rrep_usable_recv" *)
+  table_changed : unit -> unit;
+      (** invoked after every routing-table write; hook for the
+          loop-freedom auditor *)
+}
+
+type t = {
+  origin_data : Data_msg.t -> unit;
+      (** the application wants this packet carried to [Data_msg.dst] *)
+  recv : Payload.t -> from:Node_id.t -> unit;
+      (** packet addressed to this node (or broadcast) arrived *)
+  overheard : Payload.t -> from:Node_id.t -> dst:Net.Frame.dst -> unit;
+      (** promiscuously overheard traffic (used by DSR) *)
+  link_failure : Payload.t -> next_hop:Node_id.t -> unit;
+      (** MAC gave up delivering [payload] to [next_hop] *)
+  start : unit -> unit;  (** arm periodic timers (proactive protocols) *)
+  successor : Node_id.t -> Node_id.t option;
+      (** current next hop toward a destination, if the protocol keeps a
+          hop-by-hop table; drives the loop auditor *)
+  own_seqno : unit -> float;
+      (** the node's own destination sequence number, as a float so that
+          LDR (increment count) and AODV (integer value) are comparable —
+          the Fig-7 metric *)
+}
+
+type factory = ctx -> t
+
+val null_ctx : ?id:int -> Sim.Engine.t -> ctx
+(** A context whose outputs go nowhere; for tests that poke agents
+    directly. *)

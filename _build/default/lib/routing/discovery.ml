@@ -1,0 +1,36 @@
+open Sim
+
+type t = {
+  ttl_start : int;
+  ttl_increment : int;
+  ttl_threshold : int;
+  net_diameter : int;
+  node_traversal : Time.t;
+  max_retries : int;
+}
+
+let default =
+  {
+    ttl_start = 1;
+    ttl_increment = 2;
+    ttl_threshold = 7;
+    net_diameter = 35;
+    node_traversal = Time.ms 40.;
+    max_retries = 2;
+  }
+
+let next_ttl t ~prev =
+  match prev with
+  | None -> Some t.ttl_start
+  | Some p ->
+      if p < t.ttl_threshold then
+        Some (Stdlib.min (p + t.ttl_increment) t.ttl_threshold)
+      else if p < t.net_diameter then Some t.net_diameter
+      else None
+(* Full-diameter retries are counted by the caller against
+   [max_retries]; [next_ttl] only shapes the ring growth. *)
+
+let attempt_timeout t ~ttl = Time.mul t.node_traversal (2 * ttl)
+
+let ttl_for_known_distance t ~dist =
+  Stdlib.min t.net_diameter (Stdlib.max t.ttl_start dist + 2)

@@ -1,0 +1,28 @@
+(** Expanding-ring-search schedule shared by the on-demand protocols.
+
+    Constants follow the AODV draft the paper measures against:
+    TTL_START = 1, TTL_INCREMENT = 2, TTL_THRESHOLD = 7, NET_DIAMETER
+    = 35, with per-attempt timeouts proportional to the ring size
+    (2 x TTL x node traversal time) and a bounded number of full-diameter
+    retries. *)
+
+type t = {
+  ttl_start : int;
+  ttl_increment : int;
+  ttl_threshold : int;
+  net_diameter : int;
+  node_traversal : Sim.Time.t;  (** conservative one-hop latency estimate *)
+  max_retries : int;  (** network-wide attempts after the ring search *)
+}
+
+val default : t
+
+val next_ttl : t -> prev:int option -> int option
+(** TTL of the attempt after one with TTL [prev] ([None] = first
+    attempt).  [None] when the retry budget is exhausted. *)
+
+val attempt_timeout : t -> ttl:int -> Sim.Time.t
+(** How long to wait for a reply to an attempt with this TTL. *)
+
+val ttl_for_known_distance : t -> dist:int -> int
+(** Initial TTL when a (stale) distance to the destination is known. *)

@@ -1,0 +1,87 @@
+open Sim
+open Packets
+
+type item = { msg : Data_msg.t; buffered_at : Time.t }
+
+type t = {
+  engine : Engine.t;
+  capacity : int;
+  max_age : Time.t;
+  on_drop : Data_msg.t -> reason:string -> unit;
+  by_dst : item Queue.t Node_id.Table.t;
+  mutable count : int;
+}
+
+let create ~engine ~capacity ~max_age ~on_drop =
+  if capacity <= 0 then invalid_arg "Packet_buffer.create: capacity";
+  { engine; capacity; max_age; on_drop; by_dst = Node_id.Table.create 16; count = 0 }
+
+let fresh t item =
+  Time.(Time.add item.buffered_at t.max_age > Engine.now t.engine)
+
+(* Drop expired packets at the head of a destination queue. *)
+let rec trim_expired t q =
+  match Queue.peek_opt q with
+  | Some item when not (fresh t item) ->
+      ignore (Queue.pop q);
+      t.count <- t.count - 1;
+      t.on_drop item.msg ~reason:"buffer-timeout";
+      trim_expired t q
+  | Some _ | None -> ()
+
+let queue_for t dst =
+  match Node_id.Table.find_opt t.by_dst dst with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Node_id.Table.replace t.by_dst dst q;
+      q
+
+(* Evict the globally oldest packet to make room. *)
+let evict_oldest t =
+  let oldest = ref None in
+  Node_id.Table.iter
+    (fun _ q ->
+      match Queue.peek_opt q with
+      | Some item -> (
+          match !oldest with
+          | Some (best, _) when Time.(best.buffered_at <= item.buffered_at) ->
+              ()
+          | _ -> oldest := Some (item, q))
+      | None -> ())
+    t.by_dst;
+  match !oldest with
+  | None -> ()
+  | Some (_, q) ->
+      let item = Queue.pop q in
+      t.count <- t.count - 1;
+      t.on_drop item.msg ~reason:"buffer-evicted"
+
+let push t msg =
+  let q = queue_for t msg.Data_msg.dst in
+  trim_expired t q;
+  if t.count >= t.capacity then evict_oldest t;
+  Queue.push { msg; buffered_at = Engine.now t.engine } q;
+  t.count <- t.count + 1
+
+let take t dst =
+  match Node_id.Table.find_opt t.by_dst dst with
+  | None -> []
+  | Some q ->
+      trim_expired t q;
+      let items = List.of_seq (Queue.to_seq q) in
+      t.count <- t.count - Queue.length q;
+      Queue.clear q;
+      List.map (fun i -> i.msg) items
+
+let drop_all t dst ~reason =
+  List.iter (fun msg -> t.on_drop msg ~reason) (take t dst)
+
+let pending t dst =
+  match Node_id.Table.find_opt t.by_dst dst with
+  | None -> false
+  | Some q ->
+      trim_expired t q;
+      not (Queue.is_empty q)
+
+let length t = t.count

@@ -1,0 +1,30 @@
+(** Per-destination holding buffer for data packets awaiting a route.
+
+    On-demand protocols queue packets while route discovery runs.  The
+    buffer bounds both residence time and total occupancy; evicted or
+    expired packets are reported so the runner can count them as drops. *)
+
+open Packets
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  capacity:int ->
+  max_age:Sim.Time.t ->
+  on_drop:(Data_msg.t -> reason:string -> unit) ->
+  t
+
+val push : t -> Data_msg.t -> unit
+(** Buffer a packet for [Data_msg.dst].  When full, the oldest buffered
+    packet overall is evicted (and reported). *)
+
+val take : t -> Node_id.t -> Data_msg.t list
+(** Remove and return all live packets held for a destination, oldest
+    first. *)
+
+val drop_all : t -> Node_id.t -> reason:string -> unit
+(** Discard (and report) everything held for a destination. *)
+
+val pending : t -> Node_id.t -> bool
+val length : t -> int

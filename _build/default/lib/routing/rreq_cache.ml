@@ -1,0 +1,65 @@
+open Sim
+open Packets
+
+type 'a entry = { mutable value : 'a; mutable expires : Time.t }
+
+type 'a t = {
+  engine : Engine.t;
+  ttl : Time.t;
+  table : (Node_id.t * int, 'a entry) Hashtbl.t;
+  mutable ops_since_purge : int;
+}
+
+let create ~engine ~ttl =
+  { engine; ttl; table = Hashtbl.create 64; ops_since_purge = 0 }
+
+let now t = Engine.now t.engine
+
+let purge t =
+  let cutoff = now t in
+  let stale =
+    Hashtbl.fold
+      (fun k e acc -> if Time.(e.expires <= cutoff) then k :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) stale
+
+(* Amortised cleanup: a full sweep every so many operations keeps the
+   table from accumulating an entire run's worth of dead floods. *)
+let tick t =
+  t.ops_since_purge <- t.ops_since_purge + 1;
+  if t.ops_since_purge >= 256 then begin
+    t.ops_since_purge <- 0;
+    purge t
+  end
+
+let live t e = Time.(e.expires > now t)
+
+let find t ~origin ~rreq_id =
+  tick t;
+  match Hashtbl.find_opt t.table (origin, rreq_id) with
+  | Some e when live t e -> Some e.value
+  | Some _ ->
+      Hashtbl.remove t.table (origin, rreq_id);
+      None
+  | None -> None
+
+let mem t ~origin ~rreq_id = find t ~origin ~rreq_id <> None
+
+let add t ~origin ~rreq_id value =
+  tick t;
+  let expires = Time.add (now t) t.ttl in
+  match Hashtbl.find_opt t.table (origin, rreq_id) with
+  | Some e ->
+      e.value <- value;
+      e.expires <- expires
+  | None -> Hashtbl.replace t.table (origin, rreq_id) { value; expires }
+
+let update t ~origin ~rreq_id f =
+  match Hashtbl.find_opt t.table (origin, rreq_id) with
+  | Some e when live t e -> e.value <- f e.value
+  | Some _ | None -> ()
+
+let length t =
+  purge t;
+  Hashtbl.length t.table

@@ -1,0 +1,27 @@
+(** Route-request duplicate/reverse-path cache.
+
+    Keyed by the computation identifier (originator, rreq id).  Entries
+    expire after a TTL: long enough for all copies of a flood and its
+    replies to leave the network.  LDR's engaged-node state, AODV's
+    duplicate suppression and DSR's request table are all instances, each
+    storing its own value type. *)
+
+open Packets
+
+type 'a t
+
+val create : engine:Sim.Engine.t -> ttl:Sim.Time.t -> 'a t
+
+val mem : 'a t -> origin:Node_id.t -> rreq_id:int -> bool
+(** True if a live (unexpired) entry exists. *)
+
+val find : 'a t -> origin:Node_id.t -> rreq_id:int -> 'a option
+
+val add : 'a t -> origin:Node_id.t -> rreq_id:int -> 'a -> unit
+(** Inserts or refreshes; the expiry clock restarts. *)
+
+val update : 'a t -> origin:Node_id.t -> rreq_id:int -> ('a -> 'a) -> unit
+(** Applies [f] to a live entry; no-op if absent.  Does not refresh the
+    expiry. *)
+
+val length : 'a t -> int

@@ -1,0 +1,45 @@
+(** Discrete-event simulation driver.
+
+    Owns the virtual clock and the event queue.  All simulated activity —
+    packet transmissions, protocol timers, mobility waypoints, traffic
+    sources — is expressed as events scheduled on one engine. *)
+
+type t
+
+type handle = Event_queue.handle
+
+val create : ?seed:int -> unit -> t
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** The engine's root generator.  Subsystems should [Rng.split] it once at
+    setup so their streams stay independent. *)
+
+val at : t -> Time.t -> (unit -> unit) -> handle
+(** [at t time f] schedules [f] at absolute [time], which must not be in
+    the past. *)
+
+val after : t -> Time.t -> (unit -> unit) -> handle
+(** [after t d f] schedules [f] at [now t + d]. *)
+
+val cancel : handle -> unit
+
+val every : t -> ?jitter:(unit -> Time.t) -> start:Time.t -> interval:Time.t
+  -> until:Time.t -> (unit -> unit) -> unit
+(** [every t ~start ~interval ~until f] runs [f] at [start],
+    [start+interval], ... while the firing time is before [until].
+    [jitter] adds a per-firing offset. *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** Process events in order until the queue drains, the clock passes
+    [until], or [max_events] events have fired.  When [until] is given,
+    the clock always ends at [until] (or later) — idle virtual time
+    passes, so timeouts measured across repeated bounded runs behave as
+    expected. *)
+
+val step : t -> bool
+(** Fire the single earliest event.  Returns false when idle. *)
+
+val events_processed : t -> int

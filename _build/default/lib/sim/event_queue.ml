@@ -1,0 +1,99 @@
+type handle = {
+  time : Time.t;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type t = {
+  mutable heap : handle array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let dummy =
+  { time = Time.zero; seq = -1; action = ignore; cancelled = true }
+
+let create () = { heap = Array.make 64 dummy; size = 0; next_seq = 0 }
+
+let before a b =
+  let c = Time.compare a.time b.time in
+  if c <> 0 then c < 0 else a.seq < b.seq
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.heap) dummy in
+  Array.blit t.heap 0 bigger 0 t.size;
+  t.heap <- bigger
+
+let schedule t time action =
+  if t.size = Array.length t.heap then grow t;
+  let h = { time; seq = t.next_seq; action; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.heap.(t.size) <- h;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1);
+  h
+
+let cancel h = h.cancelled <- true
+let is_cancelled h = h.cancelled
+
+let remove_top t =
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  if t.size > 0 then sift_down t 0
+
+(* Discard cancelled events sitting at the top of the heap. *)
+let rec settle t =
+  if t.size > 0 && t.heap.(0).cancelled then begin
+    remove_top t;
+    settle t
+  end
+
+let next_time t =
+  settle t;
+  if t.size = 0 then None else Some t.heap.(0).time
+
+let pop t =
+  settle t;
+  if t.size = 0 then None
+  else begin
+    let h = t.heap.(0) in
+    remove_top t;
+    Some (h.time, h.action)
+  end
+
+let is_empty t =
+  settle t;
+  t.size = 0
+
+let live_count t =
+  let n = ref 0 in
+  for i = 0 to t.size - 1 do
+    if not t.heap.(i).cancelled then incr n
+  done;
+  !n

@@ -1,0 +1,33 @@
+(** Pending-event set for discrete-event simulation.
+
+    A binary min-heap ordered by (time, insertion sequence): events at the
+    same instant fire in the order they were scheduled, which keeps runs
+    deterministic.  Cancellation is O(1) lazy — a cancelled event is
+    skipped when it reaches the top of the heap. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> t
+
+val schedule : t -> Time.t -> (unit -> unit) -> handle
+(** [schedule q at f] arranges for [f] to run at time [at]. *)
+
+val cancel : handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val is_cancelled : handle -> bool
+
+val next_time : t -> Time.t option
+(** Time of the earliest live event, if any. *)
+
+val pop : t -> (Time.t * (unit -> unit)) option
+(** Remove and return the earliest live event. *)
+
+val is_empty : t -> bool
+(** True when no live events remain. *)
+
+val live_count : t -> int
+(** Number of scheduled, not-yet-fired, not-cancelled events.  O(n). *)

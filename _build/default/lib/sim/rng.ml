@@ -1,0 +1,69 @@
+type t = { mutable state : int64 }
+
+(* splitmix64 (Steele, Lea & Flood): tiny state, passes BigCrush, and
+   supports cheap stream splitting -- ideal for reproducible simulation. *)
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = mix (bits64 t) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Reject to avoid modulo bias. *)
+  let b = Int64.of_int bound in
+  let rec draw () =
+    let r = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem r b in
+    if Int64.sub r v > Int64.sub (Int64.sub Int64.max_int b) 1L then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t x =
+  (* 53 uniform bits mapped to [0, 1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits /. 9007199254740992. *. x
+
+let float_in t lo hi =
+  if lo > hi then invalid_arg "Rng.float_in: empty range";
+  lo +. float t (hi -. lo)
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+
+let coin t p = float t 1.0 < p
+
+let exponential t mean =
+  if mean <= 0. then invalid_arg "Rng.exponential: mean must be positive";
+  let u = 1.0 -. float t 1.0 (* in (0, 1] to avoid log 0 *) in
+  -.mean *. log u
+
+let uniform_time t d = Time.ns (Int64.of_float (float t (Int64.to_float (Time.to_ns d))))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))

@@ -1,0 +1,56 @@
+type t = int64
+
+let zero = 0L
+
+let ns n =
+  if Int64.compare n 0L < 0 then invalid_arg "Time.ns: negative";
+  n
+
+let of_float_ns x =
+  if x < 0. then invalid_arg "Time: negative duration";
+  Int64.of_float (Float.round x)
+
+let us x = of_float_ns (x *. 1e3)
+let ms x = of_float_ns (x *. 1e6)
+let sec x = of_float_ns (x *. 1e9)
+
+let to_ns t = t
+let to_us t = Int64.to_float t /. 1e3
+let to_ms t = Int64.to_float t /. 1e6
+let to_sec t = Int64.to_float t /. 1e9
+
+let add = Int64.add
+
+let diff a b =
+  if Int64.compare a b < 0 then invalid_arg "Time.diff: negative result";
+  Int64.sub a b
+
+let mul t k =
+  if k < 0 then invalid_arg "Time.mul: negative factor";
+  Int64.mul t (Int64.of_int k)
+
+let div t k =
+  if k <= 0 then invalid_arg "Time.div: non-positive divisor";
+  Int64.div t (Int64.of_int k)
+
+let scale t x =
+  if x < 0. then invalid_arg "Time.scale: negative factor";
+  of_float_ns (Int64.to_float t *. x)
+
+let compare = Int64.compare
+let equal = Int64.equal
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let min a b = if a <= b then a else b
+let max a b = if a >= b then a else b
+
+let pp fmt t =
+  let x = Int64.to_float t in
+  if Stdlib.( < ) x 1e3 then Format.fprintf fmt "%.0fns" x
+  else if Stdlib.( < ) x 1e6 then Format.fprintf fmt "%.3fus" (x /. 1e3)
+  else if Stdlib.( < ) x 1e9 then Format.fprintf fmt "%.3fms" (x /. 1e6)
+  else Format.fprintf fmt "%.3fs" (x /. 1e9)
+
+let to_string t = Format.asprintf "%a" pp t

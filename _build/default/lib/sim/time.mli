@@ -1,0 +1,51 @@
+(** Simulation time.
+
+    Time is a count of nanoseconds since the start of the simulation,
+    stored as an [int64].  Using integer nanoseconds keeps event ordering
+    exact and runs bit-for-bit reproducible across platforms, which the
+    deterministic-replay tests rely on. *)
+
+type t = private int64
+
+val zero : t
+
+val ns : int64 -> t
+(** [ns n] is [n] nanoseconds.  Raises [Invalid_argument] if [n < 0]. *)
+
+val us : float -> t
+(** [us x] is [x] microseconds, rounded to the nearest nanosecond. *)
+
+val ms : float -> t
+(** [ms x] is [x] milliseconds, rounded to the nearest nanosecond. *)
+
+val sec : float -> t
+(** [sec x] is [x] seconds, rounded to the nearest nanosecond. *)
+
+val to_ns : t -> int64
+val to_us : t -> float
+val to_ms : t -> float
+val to_sec : t -> float
+
+val add : t -> t -> t
+val diff : t -> t -> t
+(** [diff a b] is [a - b].  Raises [Invalid_argument] if [b] is after [a]. *)
+
+val mul : t -> int -> t
+val div : t -> int -> t
+
+val scale : t -> float -> t
+(** [scale t x] is [t] multiplied by the non-negative factor [x]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints with an adaptive unit, e.g. ["1.500ms"] or ["2.000s"]. *)
+
+val to_string : t -> string

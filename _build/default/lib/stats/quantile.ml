@@ -1,0 +1,77 @@
+type t = {
+  capacity : int;
+  mutable samples : float array;
+  mutable retained : int;
+  mutable offered : int;
+  mutable rng : int64;  (** splitmix64 state, self-contained *)
+  mutable sorted : bool;
+}
+
+let create ?(capacity = 65536) ~rng_seed () =
+  if capacity <= 0 then invalid_arg "Quantile.create: capacity";
+  {
+    capacity;
+    samples = Array.make (Stdlib.min capacity 1024) 0.;
+    retained = 0;
+    offered = 0;
+    rng = Int64.of_int (rng_seed lxor 0x9E3779B9);
+    sorted = true;
+  }
+
+let next_rand t bound =
+  (* splitmix64 step. *)
+  t.rng <- Int64.add t.rng 0x9E3779B97F4A7C15L;
+  let z = t.rng in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.rem (Int64.shift_right_logical z 1) (Int64.of_int bound))
+
+let grow t =
+  let bigger = Array.make (Stdlib.min t.capacity (2 * Array.length t.samples)) 0. in
+  Array.blit t.samples 0 bigger 0 t.retained;
+  t.samples <- bigger
+
+let add t x =
+  t.offered <- t.offered + 1;
+  if t.retained < t.capacity then begin
+    if t.retained = Array.length t.samples then grow t;
+    t.samples.(t.retained) <- x;
+    t.retained <- t.retained + 1;
+    t.sorted <- false
+  end
+  else begin
+    (* Vitter's algorithm R: replace a random slot with probability
+       capacity/offered. *)
+    let j = next_rand t t.offered in
+    if j < t.capacity then begin
+      t.samples.(j) <- x;
+      t.sorted <- false
+    end
+  end
+
+let count t = t.offered
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.samples 0 t.retained in
+    Array.sort compare live;
+    Array.blit live 0 t.samples 0 t.retained;
+    t.sorted <- true
+  end
+
+let quantile t q =
+  if q < 0. || q > 1. then invalid_arg "Quantile.quantile: q outside [0,1]";
+  if t.retained = 0 then 0.
+  else begin
+    ensure_sorted t;
+    let rank =
+      Stdlib.min (t.retained - 1)
+        (int_of_float (Float.round (q *. float_of_int (t.retained - 1))))
+    in
+    t.samples.(rank)
+  end
+
+let median t = quantile t 0.5
+let p95 t = quantile t 0.95
+let p99 t = quantile t 0.99

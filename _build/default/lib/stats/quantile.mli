@@ -1,0 +1,21 @@
+(** Exact sample quantiles over a bounded reservoir.
+
+    Keeps up to [capacity] samples (uniform reservoir sampling beyond
+    that), answering arbitrary quantiles at read time.  Simulation runs
+    produce at most a few hundred thousand latency samples, so a 64k
+    reservoir gives sub-percent quantile error at negligible memory. *)
+
+type t
+
+val create : ?capacity:int -> rng_seed:int -> unit -> t
+val add : t -> float -> unit
+val count : t -> int
+(** Total samples offered (not just retained). *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for q in [0, 1]; 0 when empty.  Nearest-rank on the
+    retained reservoir. *)
+
+val median : t -> float
+val p95 : t -> float
+val p99 : t -> float

@@ -1,0 +1,42 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?align ~header rows =
+  let cols = List.length header in
+  let aligns =
+    match align with
+    | Some a when List.length a = cols -> a
+    | Some _ | None ->
+        List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  let normalize row =
+    let n = List.length row in
+    if n >= cols then row
+    else row @ List.init (cols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> Stdlib.max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let line cells =
+    String.concat "  "
+      (List.map2
+         (fun (w, a) c -> pad a w c)
+         (List.combine widths aligns)
+         cells)
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (line header :: sep :: List.map line rows)
+
+let mean_ci ~mean ~ci = Printf.sprintf "%.3f ± %.3f" mean ci

@@ -1,0 +1,11 @@
+(** Fixed-width text tables for the benchmark reports. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** Render rows under a header with per-column alignment (default
+    right-aligned except the first column).  Rows shorter than the header
+    are padded with empty cells. *)
+
+val mean_ci : mean:float -> ci:float -> string
+(** "0.987 ± 0.004" formatting used throughout the reports. *)

@@ -1,0 +1,25 @@
+(** Streaming mean/variance (Welford's algorithm) and Student-t 95 %
+    confidence intervals — the error bars of the paper's plots. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 with fewer than two samples. *)
+
+val stddev : t -> float
+
+val ci95 : t -> float
+(** Half-width of the 95 % confidence interval of the mean; 0 with fewer
+    than two samples. *)
+
+val t_critical : df:int -> float
+(** Two-sided 95 % Student-t critical value. *)
+
+val merge : t -> t -> t
+(** Distribution over the union of both sample sets. *)

@@ -1,0 +1,64 @@
+open Sim
+open Packets
+
+type config = {
+  num_flows : int;
+  packets_per_sec : float;
+  payload_bytes : int;
+  mean_flow_duration : Time.t;
+  startup_window : Time.t;
+}
+
+let default_config =
+  {
+    num_flows = 10;
+    packets_per_sec = 4.;
+    payload_bytes = 512;
+    mean_flow_duration = Time.sec 100.;
+    startup_window = Time.sec 10.;
+  }
+
+let setup ~engine ~rng ~num_nodes ~config ~until ~emit =
+  if num_nodes < 2 then invalid_arg "Traffic.setup: need at least two nodes";
+  let next_flow_id = ref 0 in
+  let pick_pair () =
+    let src = Rng.int rng num_nodes in
+    let rec pick_dst () =
+      let d = Rng.int rng num_nodes in
+      if d = src then pick_dst () else d
+    in
+    (Node_id.of_int src, Node_id.of_int (pick_dst ()))
+  in
+  let interval = Time.sec (1. /. config.packets_per_sec) in
+  (* One slot = an endless succession of flows. *)
+  let rec start_flow start =
+    if Time.(start < until) then begin
+      let flow_id = !next_flow_id in
+      incr next_flow_id;
+      let src, dst = pick_pair () in
+      let duration =
+        Time.sec
+          (Rng.exponential rng (Time.to_sec config.mean_flow_duration))
+      in
+      let stop = Time.min until (Time.add start duration) in
+      let seq = ref 0 in
+      let rec emit_packet at =
+        if Time.(at < stop) then
+          ignore
+            (Engine.at engine at (fun () ->
+                 let msg =
+                   Data_msg.fresh ~flow_id ~seq:!seq ~src ~dst
+                     ~payload_bytes:config.payload_bytes ~origin_time:at
+                 in
+                 incr seq;
+                 emit ~src msg;
+                 emit_packet (Time.add at interval)))
+      in
+      emit_packet start;
+      (* The slot restarts as soon as this flow ends. *)
+      ignore (Engine.at engine stop (fun () -> start_flow stop))
+    end
+  in
+  for _ = 1 to config.num_flows do
+    start_flow (Rng.uniform_time rng config.startup_window)
+  done

@@ -1,0 +1,1 @@
+test/test_aodv.ml: Alcotest Aodv Engine Experiment List Node_id Packets QCheck QCheck_alcotest Rng Routing Sim Time

@@ -1,0 +1,1 @@
+test/test_dsr.ml: Alcotest Dsr Engine Experiment Fun List Net Node_id Packets QCheck QCheck_alcotest Rng Routing Sim Time

@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Array Engine Experiment Format Geom List Logs Metrics Net Packets Printf Rng Runner Scenario Sim Stats Sweep Time Trace Traffic

@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Geom QCheck QCheck_alcotest Sim Terrain Vec2

@@ -1,0 +1,1 @@
+test/test_ldr.ml: Alcotest Array Conditions Config Engine Experiment Ldr List Node_id Option Packets Protocol QCheck QCheck_alcotest Rng Route_table Routing Seqnum Sim Stdlib Time

@@ -1,0 +1,1 @@
+test/test_ldr_advanced.ml: Alcotest Array Config Engine Experiment Ldr List Node_id Option Packets Protocol Route_table Seqnum Sim Time

@@ -1,0 +1,1 @@
+test/test_ldr_multipath.ml: Alcotest Array Config Engine Experiment Ldr List Node_id Option Packets Protocol QCheck QCheck_alcotest Rng Route_table Seqnum Sim Time

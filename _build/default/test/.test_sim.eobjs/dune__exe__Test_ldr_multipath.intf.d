@@ -1,0 +1,1 @@
+test/test_ldr_multipath.mli:

@@ -1,0 +1,1 @@
+test/test_mobility.ml: Alcotest Geom List Mobility QCheck QCheck_alcotest Rng Sim Time

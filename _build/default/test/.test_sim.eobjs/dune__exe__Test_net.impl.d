@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Data_msg Engine Geom List Mobility Net Node_id Packets Payload QCheck QCheck_alcotest Rng Sim Time

@@ -1,0 +1,1 @@
+test/test_olsr.ml: Alcotest Engine Experiment List Node_id Olsr Packets QCheck QCheck_alcotest Rng Routing Sim Time

@@ -1,0 +1,1 @@
+test/test_packets.ml: Alcotest Aodv_msg Data_msg Dsr_msg Ldr_msg Node_id Olsr_msg Packets Payload QCheck QCheck_alcotest Seqnum Sim

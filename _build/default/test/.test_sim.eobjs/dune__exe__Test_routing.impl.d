@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Data_msg Engine List Net Node_id Packets Payload Routing Sim Time

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Event_queue Fun Int64 List QCheck QCheck_alcotest Rng Sim Time

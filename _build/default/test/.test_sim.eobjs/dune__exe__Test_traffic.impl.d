@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Data_msg Engine Hashtbl List Node_id Packets Rng Sim Stdlib Time Traffic

@@ -1,0 +1,164 @@
+(* Tests for the mobility models. *)
+
+open Sim
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf = Alcotest.check (Alcotest.float 1e-6)
+
+let terrain = Geom.Terrain.create ~width:1000. ~height:500.
+
+let static_never_moves () =
+  let p = Geom.Vec2.v 10. 20. in
+  let m = Mobility.static p in
+  List.iter
+    (fun t -> checkb "same spot" true (Geom.Vec2.equal p (Mobility.position m (Time.sec t))))
+    [ 0.; 1.; 100.; 10_000. ]
+
+let waypoint_stays_in_terrain () =
+  let rng = Rng.create 42 in
+  for _ = 1 to 10 do
+    let start = Geom.Terrain.random_point terrain rng in
+    let m =
+      Mobility.waypoint ~terrain ~rng:(Rng.split rng) ~speed_min:1.
+        ~speed_max:20. ~pause:(Time.sec 5.) ~start
+    in
+    for t = 0 to 500 do
+      let p = Mobility.position m (Time.sec (float_of_int t)) in
+      checkb "inside terrain" true (Geom.Terrain.contains terrain p)
+    done
+  done
+
+let waypoint_respects_speed () =
+  let rng = Rng.create 7 in
+  let start = Geom.Vec2.v 500. 250. in
+  let m =
+    Mobility.waypoint ~terrain ~rng ~speed_min:1. ~speed_max:20.
+      ~pause:(Time.sec 0.001) ~start
+  in
+  (* Displacement over any dt cannot exceed max speed x dt. *)
+  let prev = ref (Mobility.position m Time.zero) in
+  let dt = 0.5 in
+  for i = 1 to 2000 do
+    let p = Mobility.position m (Time.sec (dt *. float_of_int i)) in
+    let moved = Geom.Vec2.dist !prev p in
+    checkb "bounded speed" true (moved <= (20. *. dt) +. 1e-6);
+    prev := p
+  done
+
+let waypoint_pauses () =
+  let rng = Rng.create 9 in
+  let start = Geom.Vec2.v 100. 100. in
+  let m =
+    Mobility.waypoint ~terrain ~rng ~speed_min:5. ~speed_max:5.
+      ~pause:(Time.sec 10.) ~start
+  in
+  (* During the initial pause the node sits still. *)
+  let p0 = Mobility.position m Time.zero in
+  let p5 = Mobility.position m (Time.sec 5.) in
+  let p9 = Mobility.position m (Time.sec 9.9) in
+  checkb "paused at 5s" true (Geom.Vec2.equal p0 p5);
+  checkb "paused at 9.9s" true (Geom.Vec2.equal p0 p9)
+
+let waypoint_eventually_moves () =
+  let rng = Rng.create 10 in
+  let start = Geom.Vec2.v 100. 100. in
+  let m =
+    Mobility.waypoint ~terrain ~rng ~speed_min:5. ~speed_max:10.
+      ~pause:(Time.sec 1.) ~start
+  in
+  let p = Mobility.position m (Time.sec 60.) in
+  checkb "moved by 60s" false (Geom.Vec2.equal p start)
+
+let monotonicity_enforced () =
+  let rng = Rng.create 11 in
+  let m =
+    Mobility.waypoint ~terrain ~rng ~speed_min:1. ~speed_max:2.
+      ~pause:(Time.sec 1.) ~start:(Geom.Vec2.v 0. 0.)
+  in
+  ignore (Mobility.position m (Time.sec 10.));
+  Alcotest.check_raises "backwards query"
+    (Invalid_argument "Mobility.position: query times must be non-decreasing")
+    (fun () -> ignore (Mobility.position m (Time.sec 5.)))
+
+let random_walk_in_terrain () =
+  let rng = Rng.create 13 in
+  let m =
+    Mobility.random_walk ~terrain ~rng ~speed:10. ~epoch:(Time.sec 2.)
+      ~start:(Geom.Vec2.v 999. 499.)
+  in
+  for t = 0 to 300 do
+    let p = Mobility.position m (Time.sec (float_of_int t)) in
+    checkb "inside" true (Geom.Terrain.contains terrain p)
+  done
+
+let scripted_follows_waypoints () =
+  let m =
+    Mobility.scripted
+      [
+        (Time.sec 0., Geom.Vec2.v 0. 0.);
+        (Time.sec 10., Geom.Vec2.v 100. 0.);
+        (Time.sec 20., Geom.Vec2.v 100. 100.);
+      ]
+  in
+  let p = Mobility.position m (Time.sec 5.) in
+  checkf "halfway x" 50. p.Geom.Vec2.x;
+  checkf "halfway y" 0. p.Geom.Vec2.y;
+  let q = Mobility.position m (Time.sec 15.) in
+  checkf "second leg x" 100. q.Geom.Vec2.x;
+  checkf "second leg y" 50. q.Geom.Vec2.y;
+  let r = Mobility.position m (Time.sec 100.) in
+  checkb "constant after last" true (Geom.Vec2.equal r (Geom.Vec2.v 100. 100.))
+
+let scripted_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Mobility.scripted: empty trajectory")
+    (fun () -> ignore (Mobility.scripted []));
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Mobility.scripted: times must increase") (fun () ->
+      ignore
+        (Mobility.scripted
+           [ (Time.sec 5., Geom.Vec2.zero); (Time.sec 5., Geom.Vec2.zero) ]))
+
+let waypoint_validation () =
+  Alcotest.check_raises "bad speeds"
+    (Invalid_argument "Mobility.waypoint: need 0 < speed_min <= speed_max")
+    (fun () ->
+      ignore
+        (Mobility.waypoint ~terrain ~rng:(Rng.create 1) ~speed_min:0.
+           ~speed_max:5. ~pause:Time.zero ~start:Geom.Vec2.zero))
+
+(* qcheck: waypoint containment for arbitrary seeds and query sequences. *)
+let waypoint_contained_prop =
+  QCheck.Test.make ~name:"waypoint always inside terrain" ~count:50
+    QCheck.(pair small_int (list_of_size (QCheck.Gen.return 100) (float_bound_inclusive 10.)))
+    (fun (seed, dts) ->
+      let rng = Rng.create seed in
+      let m =
+        Mobility.waypoint ~terrain ~rng ~speed_min:1. ~speed_max:20.
+          ~pause:(Time.sec 2.) ~start:(Geom.Terrain.random_point terrain rng)
+      in
+      let t = ref Time.zero in
+      List.for_all
+        (fun dt ->
+          t := Time.add !t (Time.sec dt);
+          Geom.Terrain.contains terrain (Mobility.position m !t))
+        dts)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "mobility"
+    [
+      ( "models",
+        [
+          Alcotest.test_case "static" `Quick static_never_moves;
+          Alcotest.test_case "waypoint stays inside" `Quick waypoint_stays_in_terrain;
+          Alcotest.test_case "waypoint speed bound" `Quick waypoint_respects_speed;
+          Alcotest.test_case "waypoint pauses" `Quick waypoint_pauses;
+          Alcotest.test_case "waypoint moves" `Quick waypoint_eventually_moves;
+          Alcotest.test_case "monotone queries" `Quick monotonicity_enforced;
+          Alcotest.test_case "random walk inside" `Quick random_walk_in_terrain;
+          Alcotest.test_case "scripted" `Quick scripted_follows_waypoints;
+          Alcotest.test_case "scripted validation" `Quick scripted_validation;
+          Alcotest.test_case "waypoint validation" `Quick waypoint_validation;
+          qt waypoint_contained_prop;
+        ] );
+    ]

@@ -1,0 +1,323 @@
+(* Tests for the radio channel and the CSMA/CA MAC. *)
+
+open Sim
+open Packets
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let n = Node_id.of_int
+
+let data_payload ?(bytes = 512) ~src ~dst () =
+  Payload.Data
+    (Data_msg.fresh ~flow_id:0 ~seq:0 ~src:(n src) ~dst:(n dst)
+       ~payload_bytes:bytes ~origin_time:Time.zero)
+
+(* A small rig: static nodes at given positions, MACs with recording
+   callbacks. *)
+type node_rig = {
+  mac : Net.Mac.t;
+  received : (Payload.t * Node_id.t) list ref;
+  overheard : int ref;
+  failures : (Payload.t * Node_id.t) list ref;
+}
+
+let rig ?(params = Net.Params.default) positions =
+  let engine = Engine.create ~seed:5 () in
+  let channel = Net.Channel.create ~engine ~params in
+  let nodes =
+    List.mapi
+      (fun i pos ->
+        let received = ref [] and overheard = ref 0 and failures = ref [] in
+        let mac =
+          Net.Mac.create ~engine ~channel ~rng:(Rng.create (100 + i)) ~id:(n i)
+            ~position:(fun () -> pos)
+            {
+              Net.Mac.receive =
+                (fun p ~from -> received := (p, from) :: !received);
+              promiscuous = (fun _ ~from:_ ~dst:_ -> incr overheard);
+              link_failure =
+                (fun p ~next_hop -> failures := (p, next_hop) :: !failures);
+            }
+        in
+        { mac; received; overheard; failures })
+      positions
+  in
+  (engine, channel, Array.of_list nodes)
+
+let v = Geom.Vec2.v
+
+(* ---- Ifq ------------------------------------------------------------- *)
+
+let ifq_fifo () =
+  let q = Net.Ifq.create ~capacity:3 in
+  checkb "push1" true (Net.Ifq.push q 1);
+  checkb "push2" true (Net.Ifq.push q 2);
+  checki "len" 2 (Net.Ifq.length q);
+  checkb "pop order" true (Net.Ifq.pop q = Some 1);
+  checkb "pop order 2" true (Net.Ifq.pop q = Some 2);
+  checkb "empty" true (Net.Ifq.pop q = None)
+
+let ifq_drops_when_full () =
+  let q = Net.Ifq.create ~capacity:2 in
+  ignore (Net.Ifq.push q 1);
+  ignore (Net.Ifq.push q 2);
+  checkb "rejected" false (Net.Ifq.push q 3);
+  checki "drop counted" 1 (Net.Ifq.drops q);
+  checki "len still 2" 2 (Net.Ifq.length q)
+
+(* ---- Params ----------------------------------------------------------- *)
+
+let airtime_sanity () =
+  let p = Net.Params.default in
+  (* 512+20 byte payload + 34B MAC overhead at 2 Mbps + 192us preamble. *)
+  let t = Net.Params.data_airtime p ~payload_bytes:532 in
+  let expect_us = 192. +. (566. *. 8. /. 2.) in
+  checkb "data airtime" true (abs_float (Time.to_us t -. expect_us) < 1.);
+  checkb "ack shorter" true Time.(Net.Params.ack_airtime p < t);
+  checkb "ack timeout covers ack" true
+    Time.(Net.Params.ack_timeout p > Net.Params.ack_airtime p)
+
+(* ---- Channel / MAC ----------------------------------------------------- *)
+
+let unicast_delivery_and_ack () =
+  let engine, _, nodes = rig [ v 0. 0.; v 100. 0. ] in
+  let p = data_payload ~src:0 ~dst:1 () in
+  Net.Mac.send nodes.(0).mac ~dst:(Net.Frame.Unicast (n 1)) p;
+  Engine.run ~until:(Time.ms 100.) engine;
+  checki "delivered once" 1 (List.length !(nodes.(1).received));
+  checki "no failures" 0 (List.length !(nodes.(0).failures));
+  checki "sender sent one frame" 1 (Net.Mac.frames_sent nodes.(0).mac)
+
+let unicast_out_of_range_fails () =
+  let engine, _, nodes = rig [ v 0. 0.; v 1000. 0. ] in
+  let p = data_payload ~src:0 ~dst:1 () in
+  Net.Mac.send nodes.(0).mac ~dst:(Net.Frame.Unicast (n 1)) p;
+  Engine.run ~until:(Time.sec 2.) engine;
+  checki "nothing delivered" 0 (List.length !(nodes.(1).received));
+  (match !(nodes.(0).failures) with
+  | [ (_, nh) ] -> checkb "failure names next hop" true (Node_id.equal nh (n 1))
+  | other -> Alcotest.failf "expected 1 failure, got %d" (List.length other));
+  (* All retry attempts were spent. *)
+  checki "retry limit attempts" Net.Params.default.retry_limit
+    (Net.Mac.frames_sent nodes.(0).mac);
+  checki "failure gauge" 1 (Net.Mac.unicast_failures nodes.(0).mac)
+
+let broadcast_reaches_neighbors_only () =
+  let engine, _, nodes = rig [ v 0. 0.; v 200. 0.; v 260. 0.; v 900. 0. ] in
+  let p = data_payload ~src:0 ~dst:3 () in
+  Net.Mac.send nodes.(0).mac ~dst:Net.Frame.Broadcast p;
+  Engine.run ~until:(Time.ms 100.) engine;
+  checki "node1 in range" 1 (List.length !(nodes.(1).received));
+  checki "node2 in range" 1 (List.length !(nodes.(2).received));
+  checki "node3 out of range" 0 (List.length !(nodes.(3).received))
+
+let promiscuous_overhears () =
+  (* Node 2 is within range of node 0's unicast to node 1. *)
+  let engine, _, nodes = rig [ v 0. 0.; v 100. 0.; v 150. 0. ] in
+  Net.Mac.send nodes.(0).mac ~dst:(Net.Frame.Unicast (n 1))
+    (data_payload ~src:0 ~dst:1 ());
+  Engine.run ~until:(Time.ms 100.) engine;
+  checki "node1 received" 1 (List.length !(nodes.(1).received));
+  checkb "node2 overheard" true (!(nodes.(2).overheard) >= 1);
+  checki "node2 did not 'receive'" 0 (List.length !(nodes.(2).received))
+
+let queue_serializes () =
+  let engine, _, nodes = rig [ v 0. 0.; v 100. 0. ] in
+  for _ = 1 to 5 do
+    Net.Mac.send nodes.(0).mac ~dst:(Net.Frame.Unicast (n 1))
+      (data_payload ~src:0 ~dst:1 ())
+  done;
+  Engine.run ~until:(Time.sec 1.) engine;
+  checki "all five delivered" 5 (List.length !(nodes.(1).received))
+
+let ifq_overflow_drops () =
+  let params = { Net.Params.default with ifq_capacity = 3 } in
+  let engine, _, nodes = rig ~params [ v 0. 0.; v 100. 0. ] in
+  for _ = 1 to 10 do
+    Net.Mac.send nodes.(0).mac ~dst:(Net.Frame.Unicast (n 1))
+      (data_payload ~src:0 ~dst:1 ())
+  done;
+  Engine.run ~until:(Time.sec 1.) engine;
+  checkb "some drops" true (Net.Mac.queue_drops nodes.(0).mac > 0);
+  checkb "some delivered" true (List.length !(nodes.(1).received) >= 3)
+
+let hidden_terminal_collision () =
+  (* 0 and 2 are mutually out of carrier-sense range but both reach 1:
+     simultaneous sends collide at 1 (capture cannot save two
+     equidistant transmitters). *)
+  let params = { Net.Params.default with cs_range_m = 275. } in
+  let engine, _, nodes = rig ~params [ v 0. 0.; v 250. 0.; v 500. 0. ] in
+  Net.Mac.send nodes.(0).mac ~dst:Net.Frame.Broadcast (data_payload ~src:0 ~dst:1 ());
+  Net.Mac.send nodes.(2).mac ~dst:Net.Frame.Broadcast (data_payload ~src:2 ~dst:1 ());
+  (* Run only briefly: broadcasts have no retry, overlapping frames are
+     both lost at node 1. *)
+  Engine.run ~until:(Time.ms 50.) engine;
+  checki "collision at the middle node" 0 (List.length !(nodes.(1).received))
+
+let capture_effect_saves_near_frame () =
+  (* Same hidden-terminal setup but the wanted transmitter is much closer
+     than the interferer: the near frame survives. *)
+  let params = { Net.Params.default with cs_range_m = 275. } in
+  let engine, _, nodes = rig ~params [ v 0. 0.; v 50. 0.; v 500. 0. ] in
+  Net.Mac.send nodes.(0).mac ~dst:Net.Frame.Broadcast (data_payload ~src:0 ~dst:1 ());
+  Net.Mac.send nodes.(2).mac ~dst:Net.Frame.Broadcast (data_payload ~src:2 ~dst:1 ());
+  Engine.run ~until:(Time.ms 50.) engine;
+  checki "near frame captured" 1 (List.length !(nodes.(1).received))
+
+let carrier_sense_defers () =
+  (* Nodes 0 and 2 both in CS range of each other; both flood: the second
+     defers and both frames get through to node 1 (no collision). *)
+  let engine, _, nodes = rig [ v 0. 0.; v 100. 0.; v 200. 0. ] in
+  Net.Mac.send nodes.(0).mac ~dst:Net.Frame.Broadcast (data_payload ~src:0 ~dst:1 ());
+  Net.Mac.send nodes.(2).mac ~dst:Net.Frame.Broadcast (data_payload ~src:2 ~dst:1 ());
+  Engine.run ~until:(Time.ms 100.) engine;
+  checki "both delivered" 2 (List.length !(nodes.(1).received))
+
+let transmit_hook_counts () =
+  let engine, channel, nodes = rig [ v 0. 0.; v 100. 0. ] in
+  let count = ref 0 in
+  Net.Channel.set_transmit_hook channel (fun _ _ -> incr count);
+  Net.Mac.send nodes.(0).mac ~dst:(Net.Frame.Unicast (n 1))
+    (data_payload ~src:0 ~dst:1 ());
+  Engine.run ~until:(Time.ms 100.) engine;
+  (* Data frame + ACK. *)
+  checki "hook saw data+ack" 2 !count;
+  checki "channel counter" 2 (Net.Channel.transmissions channel)
+
+let neighbors_in_range_query () =
+  let _, channel, nodes = rig [ v 0. 0.; v 100. 0.; v 1000. 0. ] in
+  let neigh = Net.Channel.neighbors_in_range channel (Net.Mac.radio nodes.(0).mac) in
+  checki "one neighbor" 1 (List.length neigh);
+  checkb "it is node 1" true (List.exists (Node_id.equal (n 1)) neigh)
+
+let duplicate_on_lost_ack () =
+  (* Force an ACK loss via an interferer placed so that it is hidden from
+     the receiver's ACK... simpler: out-of-range unicast triggers
+     repeated data transmissions, shown by frames_sent. *)
+  let engine, _, nodes = rig [ v 0. 0.; v 1000. 0. ] in
+  Net.Mac.send nodes.(0).mac ~dst:(Net.Frame.Unicast (n 1))
+    (data_payload ~src:0 ~dst:1 ());
+  Engine.run ~until:(Time.sec 2.) engine;
+  checkb "retransmissions happened" true (Net.Mac.frames_sent nodes.(0).mac > 1)
+
+let broadcast_no_retry () =
+  let engine, _, nodes = rig [ v 0. 0.; v 1000. 0. ] in
+  Net.Mac.send nodes.(0).mac ~dst:Net.Frame.Broadcast (data_payload ~src:0 ~dst:1 ());
+  Engine.run ~until:(Time.sec 2.) engine;
+  checki "single attempt" 1 (Net.Mac.frames_sent nodes.(0).mac);
+  checki "no failure callback" 0 (List.length !(nodes.(0).failures))
+
+let mobility_breaks_link () =
+  (* A node walking out of range: early unicasts succeed, later ones
+     fail — the mobility-driven position function is consulted live. *)
+  let engine = Engine.create ~seed:9 () in
+  let channel = Net.Channel.create ~engine ~params:Net.Params.default in
+  let delivered = ref 0 and failed = ref 0 in
+  let walker =
+    Mobility.scripted
+      [ (Time.sec 0., v 100. 0.); (Time.sec 10., v 2000. 0.) ]
+  in
+  let mk id position cb =
+    Net.Mac.create ~engine ~channel ~rng:(Rng.create id) ~id:(n id) ~position cb
+  in
+  let cb_recv =
+    {
+      Net.Mac.receive = (fun _ ~from:_ -> incr delivered);
+      promiscuous = (fun _ ~from:_ ~dst:_ -> ());
+      link_failure = (fun _ ~next_hop:_ -> ());
+    }
+  in
+  let cb_send =
+    {
+      Net.Mac.receive = (fun _ ~from:_ -> ());
+      promiscuous = (fun _ ~from:_ ~dst:_ -> ());
+      link_failure = (fun _ ~next_hop:_ -> incr failed);
+    }
+  in
+  let sender = mk 0 (fun () -> v 0. 0.) cb_send in
+  let _receiver =
+    mk 1 (fun () -> Mobility.position walker (Engine.now engine)) cb_recv
+  in
+  (* One packet per second for 10 s; the walker passes 275 m before 1 s
+     (190 m/s) — only the immediate sends can arrive. *)
+  for i = 0 to 9 do
+    ignore
+      (Engine.at engine (Time.sec (float_of_int i)) (fun () ->
+           Net.Mac.send sender ~dst:(Net.Frame.Unicast (n 1))
+             (data_payload ~src:0 ~dst:1 ())))
+  done;
+  Engine.run ~until:(Time.sec 15.) engine;
+  checkb "early delivery happened" true (!delivered >= 1);
+  checkb "later sends failed" true (!failed >= 5);
+  (* Boundary packets may both deliver and report failure (lost ACK), so
+     the sum is at least the number of sends. *)
+  checkb "every send accounted" true (!delivered + !failed >= 10)
+
+(* Randomized end-to-end MAC property: every unicast is either received
+   at its destination or reported as a link failure to its sender —
+   possibly both (a delivered frame whose ACK was lost), but never
+   neither.  Nothing vanishes silently. *)
+let mac_accounting_prop =
+  QCheck.Test.make ~name:"unicast delivers or fails" ~count:30
+    QCheck.(pair (int_bound 1000) (int_range 2 6))
+    (fun (seed, k) ->
+      let engine = Engine.create ~seed () in
+      let params = Net.Params.default in
+      let channel = Net.Channel.create ~engine ~params in
+      let rng = Rng.create seed in
+      let received = Array.make k false and failed = Array.make k false in
+      let macs =
+        Array.init k (fun i ->
+            (* Random positions: some pairs are in range, some not. *)
+            let pos = v (Rng.float rng 800.) (Rng.float rng 300.) in
+            Net.Mac.create ~engine ~channel ~rng:(Rng.create (seed + i))
+              ~id:(n i)
+              ~position:(fun () -> pos)
+              {
+                Net.Mac.receive =
+                  (fun _ ~from -> received.(Node_id.to_int from) <- true);
+                promiscuous = (fun _ ~from:_ ~dst:_ -> ());
+                link_failure = (fun _ ~next_hop:_ -> failed.(i) <- true);
+              })
+      in
+      for i = 0 to k - 2 do
+        Net.Mac.send macs.(i) ~dst:(Net.Frame.Unicast (n (i + 1)))
+          (data_payload ~src:i ~dst:(i + 1) ())
+      done;
+      Engine.run ~until:(Time.sec 5.) engine;
+      let ok = ref true in
+      for i = 0 to k - 2 do
+        if not (received.(i) || failed.(i)) then ok := false
+      done;
+      !ok)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "net"
+    [
+      ( "ifq",
+        [
+          Alcotest.test_case "fifo" `Quick ifq_fifo;
+          Alcotest.test_case "drops when full" `Quick ifq_drops_when_full;
+        ] );
+      ("params", [ Alcotest.test_case "airtime" `Quick airtime_sanity ]);
+      ( "mac",
+        [
+          Alcotest.test_case "unicast delivery+ack" `Quick unicast_delivery_and_ack;
+          Alcotest.test_case "out of range fails" `Quick unicast_out_of_range_fails;
+          Alcotest.test_case "broadcast range" `Quick broadcast_reaches_neighbors_only;
+          Alcotest.test_case "promiscuous" `Quick promiscuous_overhears;
+          Alcotest.test_case "queue serializes" `Quick queue_serializes;
+          Alcotest.test_case "ifq overflow" `Quick ifq_overflow_drops;
+          Alcotest.test_case "hidden terminal collides" `Quick hidden_terminal_collision;
+          Alcotest.test_case "capture effect" `Quick capture_effect_saves_near_frame;
+          Alcotest.test_case "carrier sense defers" `Quick carrier_sense_defers;
+          Alcotest.test_case "transmit hook" `Quick transmit_hook_counts;
+          Alcotest.test_case "neighbors query" `Quick neighbors_in_range_query;
+          Alcotest.test_case "retransmits without ack" `Quick duplicate_on_lost_ack;
+          Alcotest.test_case "broadcast no retry" `Quick broadcast_no_retry;
+          Alcotest.test_case "mobility breaks link" `Quick mobility_breaks_link;
+          qt mac_accounting_prop;
+        ] );
+    ]

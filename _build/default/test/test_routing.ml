@@ -1,0 +1,218 @@
+(* Tests for the protocol-agnostic routing kit. *)
+
+open Sim
+open Packets
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let n = Node_id.of_int
+
+let msg ?(flow = 0) ?(seq = 0) ~src ~dst () =
+  Data_msg.fresh ~flow_id:flow ~seq ~src:(n src) ~dst:(n dst)
+    ~payload_bytes:512 ~origin_time:Time.zero
+
+(* ---- Rreq_cache -------------------------------------------------------- *)
+
+let cache_add_find () =
+  let engine = Engine.create () in
+  let c = Routing.Rreq_cache.create ~engine ~ttl:(Time.sec 5.) in
+  checkb "absent" false (Routing.Rreq_cache.mem c ~origin:(n 1) ~rreq_id:7);
+  Routing.Rreq_cache.add c ~origin:(n 1) ~rreq_id:7 "hop";
+  checkb "present" true (Routing.Rreq_cache.mem c ~origin:(n 1) ~rreq_id:7);
+  checkb "value" true (Routing.Rreq_cache.find c ~origin:(n 1) ~rreq_id:7 = Some "hop");
+  checkb "other id absent" false (Routing.Rreq_cache.mem c ~origin:(n 1) ~rreq_id:8);
+  checkb "other origin absent" false (Routing.Rreq_cache.mem c ~origin:(n 2) ~rreq_id:7)
+
+let cache_expiry () =
+  let engine = Engine.create () in
+  let c = Routing.Rreq_cache.create ~engine ~ttl:(Time.sec 5.) in
+  Routing.Rreq_cache.add c ~origin:(n 1) ~rreq_id:1 ();
+  ignore
+    (Engine.at engine (Time.sec 4.) (fun () ->
+         checkb "still live at 4s" true
+           (Routing.Rreq_cache.mem c ~origin:(n 1) ~rreq_id:1)));
+  ignore
+    (Engine.at engine (Time.sec 6.) (fun () ->
+         checkb "expired at 6s" false
+           (Routing.Rreq_cache.mem c ~origin:(n 1) ~rreq_id:1)));
+  Engine.run engine
+
+let cache_refresh_restarts_clock () =
+  let engine = Engine.create () in
+  let c = Routing.Rreq_cache.create ~engine ~ttl:(Time.sec 5.) in
+  Routing.Rreq_cache.add c ~origin:(n 1) ~rreq_id:1 1;
+  ignore
+    (Engine.at engine (Time.sec 3.) (fun () ->
+         Routing.Rreq_cache.add c ~origin:(n 1) ~rreq_id:1 2));
+  ignore
+    (Engine.at engine (Time.sec 7.) (fun () ->
+         checkb "live at 7s after refresh" true
+           (Routing.Rreq_cache.find c ~origin:(n 1) ~rreq_id:1 = Some 2)));
+  Engine.run engine
+
+let cache_update_in_place () =
+  let engine = Engine.create () in
+  let c = Routing.Rreq_cache.create ~engine ~ttl:(Time.sec 5.) in
+  Routing.Rreq_cache.add c ~origin:(n 1) ~rreq_id:1 10;
+  Routing.Rreq_cache.update c ~origin:(n 1) ~rreq_id:1 (fun x -> x + 5);
+  checkb "updated" true (Routing.Rreq_cache.find c ~origin:(n 1) ~rreq_id:1 = Some 15);
+  (* Updating a missing entry is a no-op. *)
+  Routing.Rreq_cache.update c ~origin:(n 9) ~rreq_id:9 (fun x -> x + 1);
+  checkb "no phantom" false (Routing.Rreq_cache.mem c ~origin:(n 9) ~rreq_id:9)
+
+let cache_purges () =
+  let engine = Engine.create () in
+  let c = Routing.Rreq_cache.create ~engine ~ttl:(Time.ms 10.) in
+  for i = 0 to 99 do
+    Routing.Rreq_cache.add c ~origin:(n i) ~rreq_id:i ()
+  done;
+  ignore
+    (Engine.at engine (Time.sec 1.) (fun () ->
+         checki "all expired and purged" 0 (Routing.Rreq_cache.length c)));
+  Engine.run engine
+
+(* ---- Packet_buffer ------------------------------------------------------ *)
+
+let buffer_push_take () =
+  let engine = Engine.create () in
+  let drops = ref [] in
+  let b =
+    Routing.Packet_buffer.create ~engine ~capacity:10 ~max_age:(Time.sec 30.)
+      ~on_drop:(fun m ~reason -> drops := (m, reason) :: !drops)
+  in
+  Routing.Packet_buffer.push b (msg ~flow:1 ~src:0 ~dst:5 ());
+  Routing.Packet_buffer.push b (msg ~flow:2 ~src:0 ~dst:5 ());
+  Routing.Packet_buffer.push b (msg ~flow:3 ~src:0 ~dst:6 ());
+  checkb "pending for 5" true (Routing.Packet_buffer.pending b (n 5));
+  checki "3 total" 3 (Routing.Packet_buffer.length b);
+  let got = Routing.Packet_buffer.take b (n 5) in
+  checki "two for 5, fifo" 2 (List.length got);
+  (match got with
+  | [ a; c ] ->
+      checki "fifo first" 1 a.Data_msg.flow_id;
+      checki "fifo second" 2 c.Data_msg.flow_id
+  | _ -> Alcotest.fail "wrong count");
+  checkb "5 now empty" false (Routing.Packet_buffer.pending b (n 5));
+  checki "one left" 1 (Routing.Packet_buffer.length b);
+  checki "no drops" 0 (List.length !drops)
+
+let buffer_timeout () =
+  let engine = Engine.create () in
+  let drops = ref [] in
+  let b =
+    Routing.Packet_buffer.create ~engine ~capacity:10 ~max_age:(Time.sec 5.)
+      ~on_drop:(fun m ~reason -> drops := (m, reason) :: !drops)
+  in
+  Routing.Packet_buffer.push b (msg ~src:0 ~dst:5 ());
+  ignore
+    (Engine.at engine (Time.sec 10.) (fun () ->
+         checkb "expired: nothing pending" false
+           (Routing.Packet_buffer.pending b (n 5))));
+  Engine.run engine;
+  (match !drops with
+  | [ (_, reason) ] -> Alcotest.check Alcotest.string "reason" "buffer-timeout" reason
+  | _ -> Alcotest.fail "expected one drop")
+
+let buffer_capacity_evicts_oldest () =
+  let engine = Engine.create () in
+  let drops = ref [] in
+  let b =
+    Routing.Packet_buffer.create ~engine ~capacity:2 ~max_age:(Time.sec 30.)
+      ~on_drop:(fun m ~reason -> drops := (m, reason) :: !drops)
+  in
+  (* Distinct push times so age ordering is defined. *)
+  ignore (Engine.at engine (Time.ms 1.) (fun () ->
+      Routing.Packet_buffer.push b (msg ~flow:1 ~src:0 ~dst:5 ())));
+  ignore (Engine.at engine (Time.ms 2.) (fun () ->
+      Routing.Packet_buffer.push b (msg ~flow:2 ~src:0 ~dst:6 ())));
+  ignore (Engine.at engine (Time.ms 3.) (fun () ->
+      Routing.Packet_buffer.push b (msg ~flow:3 ~src:0 ~dst:7 ())));
+  Engine.run engine;
+  checki "capacity held" 2 (Routing.Packet_buffer.length b);
+  (match !drops with
+  | [ (m, reason) ] ->
+      checki "oldest evicted" 1 m.Data_msg.flow_id;
+      Alcotest.check Alcotest.string "reason" "buffer-evicted" reason
+  | _ -> Alcotest.fail "expected exactly one eviction")
+
+let buffer_drop_all () =
+  let engine = Engine.create () in
+  let drops = ref [] in
+  let b =
+    Routing.Packet_buffer.create ~engine ~capacity:10 ~max_age:(Time.sec 30.)
+      ~on_drop:(fun m ~reason -> drops := (m, reason) :: !drops)
+  in
+  Routing.Packet_buffer.push b (msg ~flow:1 ~src:0 ~dst:5 ());
+  Routing.Packet_buffer.push b (msg ~flow:2 ~src:0 ~dst:5 ());
+  Routing.Packet_buffer.drop_all b (n 5) ~reason:"discovery-failed";
+  checki "two dropped" 2 (List.length !drops);
+  checki "buffer empty" 0 (Routing.Packet_buffer.length b)
+
+(* ---- Discovery schedule -------------------------------------------------- *)
+
+let ring_schedule () =
+  let d = Routing.Discovery.default in
+  let t1 = Routing.Discovery.next_ttl d ~prev:None in
+  checkb "starts at 1" true (t1 = Some 1);
+  let t2 = Routing.Discovery.next_ttl d ~prev:(Some 1) in
+  checkb "grows by 2" true (t2 = Some 3);
+  checkb "5 next" true (Routing.Discovery.next_ttl d ~prev:(Some 3) = Some 5);
+  checkb "7 next" true (Routing.Discovery.next_ttl d ~prev:(Some 5) = Some 7);
+  checkb "then diameter" true
+    (Routing.Discovery.next_ttl d ~prev:(Some 7) = Some d.net_diameter);
+  checkb "then exhausted" true
+    (Routing.Discovery.next_ttl d ~prev:(Some d.net_diameter) = None)
+
+let ring_timeouts_scale () =
+  let d = Routing.Discovery.default in
+  let t1 = Routing.Discovery.attempt_timeout d ~ttl:1 in
+  let t7 = Routing.Discovery.attempt_timeout d ~ttl:7 in
+  checkb "longer ttl waits longer" true Time.(t7 > t1);
+  checkb "2*ttl*traversal" true
+    (Time.equal t7 (Time.mul d.node_traversal 14))
+
+let ring_known_distance () =
+  let d = Routing.Discovery.default in
+  checki "known distance ttl" 6 (Routing.Discovery.ttl_for_known_distance d ~dist:4);
+  checkb "capped at diameter" true
+    (Routing.Discovery.ttl_for_known_distance d ~dist:100 <= d.net_diameter)
+
+(* ---- Agent null ctx ------------------------------------------------------- *)
+
+let null_ctx_works () =
+  let engine = Engine.create () in
+  let ctx = Routing.Agent.null_ctx ~id:3 engine in
+  checki "id" 3 (Node_id.to_int ctx.Routing.Agent.id);
+  (* All sinks are callable without effect. *)
+  ctx.Routing.Agent.send ~dst:Net.Frame.Broadcast
+    (Payload.Data (msg ~src:0 ~dst:1 ()));
+  ctx.Routing.Agent.deliver (msg ~src:0 ~dst:1 ());
+  ctx.Routing.Agent.event "x";
+  ctx.Routing.Agent.table_changed ()
+
+let () =
+  Alcotest.run "routing"
+    [
+      ( "rreq_cache",
+        [
+          Alcotest.test_case "add/find" `Quick cache_add_find;
+          Alcotest.test_case "expiry" `Quick cache_expiry;
+          Alcotest.test_case "refresh" `Quick cache_refresh_restarts_clock;
+          Alcotest.test_case "update" `Quick cache_update_in_place;
+          Alcotest.test_case "purge" `Quick cache_purges;
+        ] );
+      ( "packet_buffer",
+        [
+          Alcotest.test_case "push/take fifo" `Quick buffer_push_take;
+          Alcotest.test_case "timeout" `Quick buffer_timeout;
+          Alcotest.test_case "capacity eviction" `Quick buffer_capacity_evicts_oldest;
+          Alcotest.test_case "drop_all" `Quick buffer_drop_all;
+        ] );
+      ( "discovery",
+        [
+          Alcotest.test_case "ring schedule" `Quick ring_schedule;
+          Alcotest.test_case "timeouts scale" `Quick ring_timeouts_scale;
+          Alcotest.test_case "known distance" `Quick ring_known_distance;
+        ] );
+      ("agent", [ Alcotest.test_case "null ctx" `Quick null_ctx_works ]);
+    ]

@@ -1,0 +1,404 @@
+(* Tests for the simulation substrate: Time, Rng, Event_queue, Engine. *)
+
+open Sim
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ---- Time ---------------------------------------------------------- *)
+
+let time_roundtrip () =
+  check (Alcotest.float 1e-9) "sec roundtrip" 1.5 (Time.to_sec (Time.sec 1.5));
+  check (Alcotest.float 1e-6) "ms roundtrip" 2.25 (Time.to_ms (Time.ms 2.25));
+  check (Alcotest.float 1e-3) "us roundtrip" 7.5 (Time.to_us (Time.us 7.5));
+  check Alcotest.int64 "ns exact" 42L (Time.to_ns (Time.ns 42L))
+
+let time_arithmetic () =
+  let a = Time.ms 3. and b = Time.ms 1. in
+  check Alcotest.int64 "add" (Time.to_ns (Time.ms 4.))
+    (Time.to_ns (Time.add a b));
+  check Alcotest.int64 "diff" (Time.to_ns (Time.ms 2.))
+    (Time.to_ns (Time.diff a b));
+  check Alcotest.int64 "mul" (Time.to_ns (Time.ms 9.))
+    (Time.to_ns (Time.mul a 3));
+  check Alcotest.int64 "div" (Time.to_ns (Time.ms 1.))
+    (Time.to_ns (Time.div a 3));
+  check Alcotest.int64 "scale" (Time.to_ns (Time.ms 1.5))
+    (Time.to_ns (Time.scale a 0.5))
+
+let time_invalid () =
+  Alcotest.check_raises "negative ns" (Invalid_argument "Time.ns: negative")
+    (fun () -> ignore (Time.ns (-1L)));
+  Alcotest.check_raises "negative diff"
+    (Invalid_argument "Time.diff: negative result") (fun () ->
+      ignore (Time.diff (Time.ms 1.) (Time.ms 2.)))
+
+let time_compare () =
+  checkb "lt" true Time.(Time.ms 1. < Time.ms 2.);
+  checkb "le eq" true Time.(Time.ms 1. <= Time.ms 1.);
+  checkb "gt" true Time.(Time.sec 1. > Time.ms 999.);
+  checkb "min" true (Time.equal (Time.min (Time.ms 1.) (Time.ms 2.)) (Time.ms 1.));
+  checkb "max" true (Time.equal (Time.max (Time.ms 1.) (Time.ms 2.)) (Time.ms 2.))
+
+let time_pp () =
+  check Alcotest.string "ns" "500ns" (Time.to_string (Time.ns 500L));
+  check Alcotest.string "us" "1.500us" (Time.to_string (Time.us 1.5));
+  check Alcotest.string "ms" "2.000ms" (Time.to_string (Time.ms 2.));
+  check Alcotest.string "s" "3.000s" (Time.to_string (Time.sec 3.))
+
+(* ---- Rng ------------------------------------------------------------ *)
+
+let rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.bits64 a) (Rng.bits64 b) then incr same
+  done;
+  checkb "different seeds diverge" true (!same = 0)
+
+let rng_int_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int r 17 in
+    checkb "in [0,17)" true (x >= 0 && x < 17)
+  done
+
+let rng_int_in_bounds () =
+  let r = Rng.create 8 in
+  for _ = 1 to 1_000 do
+    let x = Rng.int_in r (-5) 5 in
+    checkb "in [-5,5]" true (x >= -5 && x <= 5)
+  done
+
+let rng_float_bounds () =
+  let r = Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float r 3.5 in
+    checkb "in [0,3.5)" true (x >= 0. && x < 3.5)
+  done
+
+let rng_uniformity () =
+  (* Chi-square-ish sanity: 10 buckets, 10k draws, each within 30% of
+     expectation. *)
+  let r = Rng.create 123 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let b = Rng.int r 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter (fun c -> checkb "bucket near 1000" true (c > 700 && c < 1300)) buckets
+
+let rng_exponential_mean () =
+  let r = Rng.create 11 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    let x = Rng.exponential r 100. in
+    checkb "positive" true (x > 0.);
+    sum := !sum +. x
+  done;
+  let mean = !sum /. float_of_int n in
+  checkb "mean near 100" true (mean > 95. && mean < 105.)
+
+let rng_coin_probability () =
+  let r = Rng.create 12 in
+  let heads = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.coin r 0.3 then incr heads
+  done;
+  checkb "p=0.3 within 3 sigma" true (!heads > 2850 && !heads < 3150)
+
+let rng_split_independence () =
+  let parent = Rng.create 5 in
+  let child = Rng.split parent in
+  (* The child's stream must not simply mirror the parent's. *)
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.bits64 parent) (Rng.bits64 child) then incr matches
+  done;
+  checkb "split streams differ" true (!matches = 0)
+
+let rng_shuffle_permutes () =
+  let r = Rng.create 99 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "same multiset" (Array.init 50 Fun.id) sorted
+
+let rng_pick_member () =
+  let r = Rng.create 3 in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let x = Rng.pick r arr in
+    checkb "member" true (Array.exists (( = ) x) arr)
+  done
+
+let rng_invalid () =
+  let r = Rng.create 1 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0));
+  Alcotest.check_raises "empty range" (Invalid_argument "Rng.int_in: empty range")
+    (fun () -> ignore (Rng.int_in r 3 2))
+
+(* ---- Event queue ---------------------------------------------------- *)
+
+let queue_orders_by_time () =
+  let q = Event_queue.create () in
+  let order = ref [] in
+  let note x () = order := x :: !order in
+  ignore (Event_queue.schedule q (Time.ms 3.) (note 3));
+  ignore (Event_queue.schedule q (Time.ms 1.) (note 1));
+  ignore (Event_queue.schedule q (Time.ms 2.) (note 2));
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, f) ->
+        f ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check (Alcotest.list Alcotest.int) "time order" [ 1; 2; 3 ] (List.rev !order)
+
+let queue_fifo_at_same_time () =
+  let q = Event_queue.create () in
+  let order = ref [] in
+  for i = 1 to 20 do
+    ignore (Event_queue.schedule q (Time.ms 1.) (fun () -> order := i :: !order))
+  done;
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, f) ->
+        f ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check (Alcotest.list Alcotest.int) "insertion order"
+    (List.init 20 (fun i -> i + 1))
+    (List.rev !order)
+
+let queue_cancel () =
+  let q = Event_queue.create () in
+  let fired = ref false in
+  let h = Event_queue.schedule q (Time.ms 1.) (fun () -> fired := true) in
+  Event_queue.cancel h;
+  checkb "cancelled flag" true (Event_queue.is_cancelled h);
+  checkb "empty after cancel" true (Event_queue.is_empty q);
+  checkb "never fired" false !fired
+
+let queue_cancel_among_others () =
+  let q = Event_queue.create () in
+  let seen = ref [] in
+  let note x () = seen := x :: !seen in
+  let _a = Event_queue.schedule q (Time.ms 1.) (note 1) in
+  let b = Event_queue.schedule q (Time.ms 2.) (note 2) in
+  let _c = Event_queue.schedule q (Time.ms 3.) (note 3) in
+  Event_queue.cancel b;
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, f) ->
+        f ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check (Alcotest.list Alcotest.int) "b skipped" [ 1; 3 ] (List.rev !seen)
+
+let queue_next_time () =
+  let q = Event_queue.create () in
+  checkb "empty" true (Event_queue.next_time q = None);
+  ignore (Event_queue.schedule q (Time.ms 5.) ignore);
+  (match Event_queue.next_time q with
+  | Some t -> checkb "is 5ms" true (Time.equal t (Time.ms 5.))
+  | None -> Alcotest.fail "expected an event");
+  ignore (Event_queue.schedule q (Time.ms 2.) ignore);
+  match Event_queue.next_time q with
+  | Some t -> checkb "is 2ms now" true (Time.equal t (Time.ms 2.))
+  | None -> Alcotest.fail "expected an event"
+
+let queue_grows () =
+  let q = Event_queue.create () in
+  for i = 1 to 1000 do
+    ignore (Event_queue.schedule q (Time.ms (float_of_int (1000 - i))) ignore)
+  done;
+  checki "live" 1000 (Event_queue.live_count q);
+  (* Pops come out sorted despite reverse insertion. *)
+  let rec drain last n =
+    match Event_queue.pop q with
+    | None -> n
+    | Some (t, _) ->
+        checkb "monotone" true Time.(t >= last);
+        drain t (n + 1)
+  in
+  checki "all popped" 1000 (drain Time.zero 0)
+
+(* qcheck: heap pops are sorted for arbitrary schedules. *)
+let queue_sorted_prop =
+  QCheck.Test.make ~name:"event_queue pops sorted" ~count:200
+    QCheck.(list (int_bound 1_000_000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter
+        (fun ms -> ignore (Event_queue.schedule q (Time.us (float_of_int ms)) ignore))
+        times;
+      let rec drain last =
+        match Event_queue.pop q with
+        | None -> true
+        | Some (t, _) -> Time.(t >= last) && drain t
+      in
+      drain Time.zero)
+
+(* ---- Engine ---------------------------------------------------------- *)
+
+let engine_runs_in_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.at e (Time.ms 2.) (fun () -> log := (2, Engine.now e) :: !log));
+  ignore (Engine.at e (Time.ms 1.) (fun () -> log := (1, Engine.now e) :: !log));
+  Engine.run e;
+  (match List.rev !log with
+  | [ (1, t1); (2, t2) ] ->
+      checkb "clock at 1ms" true (Time.equal t1 (Time.ms 1.));
+      checkb "clock at 2ms" true (Time.equal t2 (Time.ms 2.))
+  | _ -> Alcotest.fail "wrong order");
+  checki "2 events" 2 (Engine.events_processed e)
+
+let engine_after_relative () =
+  let e = Engine.create () in
+  let at = ref Time.zero in
+  ignore
+    (Engine.at e (Time.ms 10.) (fun () ->
+         ignore (Engine.after e (Time.ms 5.) (fun () -> at := Engine.now e))));
+  Engine.run e;
+  checkb "fires at 15ms" true (Time.equal !at (Time.ms 15.))
+
+let engine_no_past_scheduling () =
+  let e = Engine.create () in
+  ignore
+    (Engine.at e (Time.ms 10.) (fun () ->
+         try
+           ignore (Engine.at e (Time.ms 5.) ignore);
+           Alcotest.fail "expected Invalid_argument"
+         with Invalid_argument _ -> ()));
+  Engine.run e
+
+let engine_until_horizon () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.at e (Time.ms (float_of_int i)) (fun () -> incr count))
+  done;
+  Engine.run ~until:(Time.ms 5.) e;
+  checki "only first 5 fired" 5 !count
+
+let engine_idle_time_passes () =
+  let e = Engine.create () in
+  Engine.run ~until:(Time.sec 3.) e;
+  checkb "clock advanced through idle run" true
+    (Time.equal (Engine.now e) (Time.sec 3.));
+  (* Scheduling relative to the advanced clock works. *)
+  let fired = ref Time.zero in
+  ignore (Engine.after e (Time.sec 1.) (fun () -> fired := Engine.now e));
+  Engine.run e;
+  checkb "fires at 4s" true (Time.equal !fired (Time.sec 4.))
+
+let engine_max_events () =
+  let e = Engine.create () in
+  (* A self-perpetuating event chain must be stopped by the budget. *)
+  let rec arm () = ignore (Engine.after e (Time.ms 1.) (fun () -> arm ())) in
+  arm ();
+  Engine.run ~max_events:50 e;
+  checki "stopped at budget" 50 (Engine.events_processed e)
+
+let engine_every () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  Engine.every e ~start:(Time.ms 10.) ~interval:(Time.ms 10.)
+    ~until:(Time.ms 55.) (fun () -> incr count);
+  Engine.run e;
+  checki "ticks at 10..50" 5 !count
+
+let engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.at e (Time.ms 1.) (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run e;
+  checkb "cancelled" false !fired
+
+let engine_determinism () =
+  (* Two engines with the same seed driving the same random workload
+     produce identical event counts and final clocks. *)
+  let run () =
+    let e = Engine.create ~seed:77 () in
+    let r = Engine.rng e in
+    let total = ref 0L in
+    for _ = 1 to 100 do
+      let d = Time.us (float_of_int (1 + Rng.int r 1000)) in
+      ignore
+        (Engine.after e d (fun () ->
+             total := Int64.add !total (Time.to_ns (Engine.now e))))
+    done;
+    Engine.run e;
+    !total
+  in
+  check Alcotest.int64 "same totals" (run ()) (run ())
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sim"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "roundtrip" `Quick time_roundtrip;
+          Alcotest.test_case "arithmetic" `Quick time_arithmetic;
+          Alcotest.test_case "invalid" `Quick time_invalid;
+          Alcotest.test_case "compare" `Quick time_compare;
+          Alcotest.test_case "pp" `Quick time_pp;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick rng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick rng_int_in_bounds;
+          Alcotest.test_case "float bounds" `Quick rng_float_bounds;
+          Alcotest.test_case "uniformity" `Quick rng_uniformity;
+          Alcotest.test_case "exponential mean" `Quick rng_exponential_mean;
+          Alcotest.test_case "coin probability" `Quick rng_coin_probability;
+          Alcotest.test_case "split independence" `Quick rng_split_independence;
+          Alcotest.test_case "shuffle permutes" `Quick rng_shuffle_permutes;
+          Alcotest.test_case "pick member" `Quick rng_pick_member;
+          Alcotest.test_case "invalid args" `Quick rng_invalid;
+        ] );
+      ( "event_queue",
+        [
+          Alcotest.test_case "orders by time" `Quick queue_orders_by_time;
+          Alcotest.test_case "fifo at same time" `Quick queue_fifo_at_same_time;
+          Alcotest.test_case "cancel" `Quick queue_cancel;
+          Alcotest.test_case "cancel among others" `Quick queue_cancel_among_others;
+          Alcotest.test_case "next_time" `Quick queue_next_time;
+          Alcotest.test_case "grows" `Quick queue_grows;
+          qt queue_sorted_prop;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "runs in order" `Quick engine_runs_in_order;
+          Alcotest.test_case "after is relative" `Quick engine_after_relative;
+          Alcotest.test_case "no past scheduling" `Quick engine_no_past_scheduling;
+          Alcotest.test_case "until horizon" `Quick engine_until_horizon;
+          Alcotest.test_case "idle time passes" `Quick engine_idle_time_passes;
+          Alcotest.test_case "max events" `Quick engine_max_events;
+          Alcotest.test_case "every" `Quick engine_every;
+          Alcotest.test_case "cancel" `Quick engine_cancel;
+          Alcotest.test_case "determinism" `Quick engine_determinism;
+        ] );
+    ]

@@ -1,0 +1,162 @@
+(* Tests for the statistics helpers. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+let checkfa eps = Alcotest.check (Alcotest.float eps)
+
+open Stats
+
+let welford_mean_variance () =
+  let w = Welford.create () in
+  List.iter (Welford.add w) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  checkf "mean" 5. (Welford.mean w);
+  (* Known sample: population variance 4, sample variance 32/7. *)
+  checkfa 1e-9 "variance" (32. /. 7.) (Welford.variance w);
+  Alcotest.check Alcotest.int "count" 8 (Welford.count w)
+
+let welford_empty_and_single () =
+  let w = Welford.create () in
+  checkf "empty mean" 0. (Welford.mean w);
+  checkf "empty var" 0. (Welford.variance w);
+  checkf "empty ci" 0. (Welford.ci95 w);
+  Welford.add w 42.;
+  checkf "single mean" 42. (Welford.mean w);
+  checkf "single var" 0. (Welford.variance w);
+  checkf "single ci" 0. (Welford.ci95 w)
+
+let welford_ci_small_sample () =
+  let w = Welford.create () in
+  List.iter (Welford.add w) [ 1.; 2.; 3. ];
+  (* df=2 -> t=4.303; s = 1; ci = 4.303 * 1/sqrt(3). *)
+  checkfa 1e-3 "ci95" (4.303 /. sqrt 3.) (Welford.ci95 w)
+
+let welford_t_table () =
+  checkfa 1e-9 "df1" 12.706 (Welford.t_critical ~df:1);
+  checkfa 1e-9 "df30" 2.042 (Welford.t_critical ~df:30);
+  checkfa 1e-9 "df1000 ~ z" 1.96 (Welford.t_critical ~df:1000);
+  Alcotest.check_raises "df0"
+    (Invalid_argument "Welford.t_critical: df must be positive") (fun () ->
+      ignore (Welford.t_critical ~df:0))
+
+let welford_merge () =
+  let a = Welford.create () and b = Welford.create () and whole = Welford.create () in
+  let xs = [ 1.; 5.; 2.; 8.; 3. ] and ys = [ 9.; 4.; 7. ] in
+  List.iter (Welford.add a) xs;
+  List.iter (Welford.add b) ys;
+  List.iter (Welford.add whole) (xs @ ys);
+  let m = Welford.merge a b in
+  checkfa 1e-9 "merged mean" (Welford.mean whole) (Welford.mean m);
+  checkfa 1e-9 "merged var" (Welford.variance whole) (Welford.variance m);
+  Alcotest.check Alcotest.int "merged count" 8 (Welford.count m)
+
+let welford_merge_empty () =
+  let a = Welford.create () and b = Welford.create () in
+  Welford.add b 3.;
+  let m = Welford.merge a b in
+  checkf "mean" 3. (Welford.mean m);
+  let m2 = Welford.merge b a in
+  checkf "mean sym" 3. (Welford.mean m2)
+
+let welford_estimator_prop =
+  QCheck.Test.make ~name:"welford matches naive mean" ~count:200
+    QCheck.(list_of_size Gen.(int_range 2 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let w = Welford.create () in
+      List.iter (Welford.add w) xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0. xs /. n in
+      abs_float (Welford.mean w -. mean) < 1e-6)
+
+let quantile_exact_small () =
+  let q = Quantile.create ~rng_seed:1 () in
+  List.iter (Quantile.add q) [ 5.; 1.; 3.; 2.; 4. ];
+  checkf "median" 3. (Quantile.median q);
+  checkf "min" 1. (Quantile.quantile q 0.);
+  checkf "max" 5. (Quantile.quantile q 1.);
+  Alcotest.check Alcotest.int "count" 5 (Quantile.count q)
+
+let quantile_empty () =
+  let q = Quantile.create ~rng_seed:1 () in
+  checkf "empty median" 0. (Quantile.median q);
+  Alcotest.check_raises "bad q"
+    (Invalid_argument "Quantile.quantile: q outside [0,1]") (fun () ->
+      ignore (Quantile.quantile q 1.5))
+
+let quantile_reservoir_approximates () =
+  (* 100k uniform samples through a 4k reservoir: p95 within a few
+     percent of truth. *)
+  let q = Quantile.create ~capacity:4096 ~rng_seed:7 () in
+  let state = ref 12345 in
+  for _ = 1 to 100_000 do
+    state := (!state * 1103515245) + 12345;
+    let u = float_of_int (abs !state mod 1_000_000) /. 1_000_000. in
+    Quantile.add q u
+  done;
+  let p95 = Quantile.p95 q in
+  checkb "p95 near 0.95" true (p95 > 0.9 && p95 < 1.0);
+  Alcotest.check Alcotest.int "all offered counted" 100_000 (Quantile.count q)
+
+let quantile_interleaved_reads () =
+  (* Reading between writes must not corrupt the reservoir. *)
+  let q = Quantile.create ~rng_seed:3 () in
+  for i = 1 to 100 do
+    Quantile.add q (float_of_int i);
+    ignore (Quantile.median q)
+  done;
+  checkf "median of 1..100" 50. (Quantile.quantile q 0.4949);
+  checkf "p99ish" 99. (Quantile.quantile q 0.99)
+
+let table_renders () =
+  let s =
+    Table.render ~header:[ "name"; "value" ]
+      [ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.check Alcotest.int "4 lines" 4 (List.length lines);
+  (* All lines same width. *)
+  (match lines with
+  | first :: rest ->
+      List.iter
+        (fun l -> Alcotest.check Alcotest.int "aligned" (String.length first) (String.length l))
+        rest
+  | [] -> Alcotest.fail "no output");
+  checkb "contains alpha" true
+    (List.exists (fun l -> String.length l >= 5 && String.sub l 0 5 = "alpha") lines)
+
+let table_pads_short_rows () =
+  let s = Table.render ~header:[ "a"; "b"; "c" ] [ [ "x" ] ] in
+  checkb "renders without error" true (String.length s > 0)
+
+let mean_ci_format () =
+  Alcotest.check Alcotest.string "format" "0.987 ± 0.004"
+    (Table.mean_ci ~mean:0.9871 ~ci:0.0042)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "stats"
+    [
+      ( "welford",
+        [
+          Alcotest.test_case "mean/variance" `Quick welford_mean_variance;
+          Alcotest.test_case "empty/single" `Quick welford_empty_and_single;
+          Alcotest.test_case "ci small sample" `Quick welford_ci_small_sample;
+          Alcotest.test_case "t table" `Quick welford_t_table;
+          Alcotest.test_case "merge" `Quick welford_merge;
+          Alcotest.test_case "merge empty" `Quick welford_merge_empty;
+          qt welford_estimator_prop;
+        ] );
+      ( "quantile",
+        [
+          Alcotest.test_case "exact small" `Quick quantile_exact_small;
+          Alcotest.test_case "empty" `Quick quantile_empty;
+          Alcotest.test_case "reservoir approximates" `Quick
+            quantile_reservoir_approximates;
+          Alcotest.test_case "interleaved reads" `Quick quantile_interleaved_reads;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "renders" `Quick table_renders;
+          Alcotest.test_case "pads short rows" `Quick table_pads_short_rows;
+          Alcotest.test_case "mean_ci" `Quick mean_ci_format;
+        ] );
+    ]
