@@ -243,6 +243,135 @@ let ablation ~scale () =
        ~header:[ "variant"; "delivery"; "latency ms"; "net load"; "rreq load" ]
        rows)
 
+(* ---- Channel scaling: naive O(N) scan vs the spatial grid --------------- *)
+
+(* A fixed mobile scenario grown to N nodes at constant node density
+   (the paper's 5:1 terrain aspect), with flows scaled alongside so the
+   offered load per node is constant.  Every N runs twice — once with
+   the naive linear-scan channel, once with the spatial grid — checking
+   the outcomes are byte-identical and recording the wall-clock ratio
+   into BENCH_channel.json as a perf trajectory for future PRs. *)
+
+let channel_node_counts = [ 50; 200; 500; 1000 ]
+let channel_duration_s = 60.
+
+(* Sparser than the paper's boxes (the paper packs ~105 nodes inside one
+   carrier-sense disk, so per-transmission contention work swamps the
+   neighbour scan at any index).  200 m spacing keeps the decode-range
+   degree near 6 — floods still percolate — while the scan itself is the
+   hot path, which is exactly what this benchmark tracks. *)
+let channel_area_per_node = 55_000.
+
+let channel_scenario ~nodes =
+  let height = sqrt (float_of_int nodes *. channel_area_per_node /. 5.) in
+  let terrain = Geom.Terrain.create ~width:(5. *. height) ~height in
+  {
+    (Scenario.paper_50 Scenario.ldr) with
+    Scenario.label = Printf.sprintf "channel-%dn" nodes;
+    num_nodes = nodes;
+    terrain;
+    duration = Time.sec channel_duration_s;
+    net = { Net.Params.default with Net.Params.cs_range_m = 350. };
+    traffic =
+      { Traffic.default_config with Traffic.num_flows = 10 };
+  }
+
+(* Runs are deterministic, so repetitions produce identical outcomes;
+   the minimum wall time is the repetition least disturbed by the OS. *)
+let timed_run ?(reps = 3) sc =
+  let best = ref infinity in
+  let out = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let o = Runner.run sc in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    out := Some o
+  done;
+  (!best, Option.get !out)
+
+type channel_point = {
+  cp_nodes : int;
+  cp_naive_s : float;
+  cp_grid_s : float;
+  cp_identical : bool;
+  cp_transmissions : int;
+  cp_events : int;
+}
+
+let channel_bench_json points =
+  let point p =
+    Printf.sprintf
+      "    { \"nodes\": %d, \"naive_s\": %.4f, \"grid_s\": %.4f, \
+       \"speedup\": %.2f, \"identical\": %b, \"transmissions\": %d, \
+       \"events\": %d }"
+      p.cp_nodes p.cp_naive_s p.cp_grid_s
+      (p.cp_naive_s /. p.cp_grid_s)
+      p.cp_identical p.cp_transmissions p.cp_events
+  in
+  String.concat "\n"
+    [
+      "{";
+      "  \"benchmark\": \"channel-scaling\",";
+      Printf.sprintf "  \"scenario\": \"LDR random-waypoint, %g s simulated, %g m2/node, 10 flows\","
+        channel_duration_s channel_area_per_node;
+      "  \"points\": [";
+      String.concat ",\n" (List.map point points);
+      "  ]";
+      "}";
+    ]
+
+let channel_scaling ~scale:_ () =
+  heading
+    "Channel scaling: naive O(N)-scan channel vs spatial grid (byte-identical outcomes)";
+  let points =
+    List.map
+      (fun nodes ->
+        let sc = channel_scenario ~nodes in
+        let naive_s, on = timed_run (Scenario.with_naive_channel true sc) in
+        let grid_s, og = timed_run sc in
+        let identical =
+          Stdlib.compare on.Runner.summary og.Runner.summary = 0
+          && on.Runner.events_processed = og.Runner.events_processed
+          && on.Runner.transmissions = og.Runner.transmissions
+          && on.Runner.mac_queue_drops = og.Runner.mac_queue_drops
+          && on.Runner.mac_unicast_failures = og.Runner.mac_unicast_failures
+        in
+        if not identical then
+          Printf.printf "  !! %d nodes: grid and naive outcomes DIVERGE\n%!" nodes;
+        {
+          cp_nodes = nodes;
+          cp_naive_s = naive_s;
+          cp_grid_s = grid_s;
+          cp_identical = identical;
+          cp_transmissions = og.Runner.transmissions;
+          cp_events = og.Runner.events_processed;
+        })
+      channel_node_counts
+  in
+  let rows =
+    List.map
+      (fun p ->
+        [
+          string_of_int p.cp_nodes;
+          Printf.sprintf "%.3f" p.cp_naive_s;
+          Printf.sprintf "%.3f" p.cp_grid_s;
+          Printf.sprintf "%.2fx" (p.cp_naive_s /. p.cp_grid_s);
+          (if p.cp_identical then "yes" else "NO");
+          string_of_int p.cp_transmissions;
+        ])
+      points
+  in
+  print_endline
+    (Stats.Table.render
+       ~header:[ "nodes"; "naive s"; "grid s"; "speedup"; "identical"; "tx" ]
+       rows);
+  let oc = open_out "BENCH_channel.json" in
+  output_string oc (channel_bench_json points);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  (wrote BENCH_channel.json)\n%!"
+
 (* ---- Bechamel microbenchmarks: one Test.make per table/figure kernel ---- *)
 
 let kernel ~nodes ~flows protocol () =
@@ -306,9 +435,14 @@ let all_experiments =
     ("fig6", fig6);
     ("fig7", fig7);
     ("ablation", ablation);
+    ("channel", channel_scaling);
   ]
 
 let () =
+  (* A benchmarking-sized minor heap (32 MB): the simulator's steady
+     allocation rate otherwise makes minor-collection pauses a visible
+     fraction of every measurement, for both channel modes alike. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 4 * 1024 * 1024 };
   let args = List.tl (Array.to_list Sys.argv) in
   let scale = ref default_scale in
   let selected = ref [] in
@@ -328,7 +462,7 @@ let () =
           selected := !selected @ [ name ]
       | other ->
           Printf.eprintf
-            "unknown argument %S (expected: table1 fig2..fig7 ablation bechamel all --full --quick --csv=DIR)\n"
+            "unknown argument %S (expected: table1 fig2..fig7 ablation channel bechamel all --full --quick --csv=DIR)\n"
             other;
           exit 2)
     args;

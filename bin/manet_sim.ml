@@ -107,6 +107,7 @@ let scenario protocol nodes width height flows pps pause speed_max duration seed
     net = Net.Params.default;
     seed;
     audit_loops = audit;
+    naive_channel = false;
   }
 
 let print_outcome (o : Runner.outcome) =

@@ -29,6 +29,7 @@ let scenario protocol seed =
     net = Net.Params.default;
     seed;
     audit_loops = true;
+    naive_channel = false;
   }
 
 let () =

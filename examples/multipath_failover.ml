@@ -28,6 +28,7 @@ let scenario protocol seed =
     net = Net.Params.default;
     seed;
     audit_loops = true;
+    naive_channel = false;
   }
 
 let run name protocol =

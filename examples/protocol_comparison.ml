@@ -28,6 +28,7 @@ let scenario protocol =
     net = Net.Params.default;
     seed = 11;
     audit_loops = false;
+    naive_channel = false;
   }
 
 let () =

@@ -32,6 +32,7 @@ let () =
       net = Net.Params.default;
       seed = 7;
       audit_loops = true;
+      naive_channel = false;
     }
   in
   let outcome = Runner.run scenario in

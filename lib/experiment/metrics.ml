@@ -7,7 +7,7 @@ type t = {
   latency : Stats.Welford.t;
   latency_q : Stats.Quantile.t;
   hop_count : Stats.Welford.t;
-  seen : (int * int, unit) Hashtbl.t;
+  seen : (int, unit) Hashtbl.t;  (* delivered uids, packed *)
   control_tx : (string, int ref) Hashtbl.t;
   mutable data_tx : int;
   mutable ack_tx : int;
@@ -42,8 +42,15 @@ let bump tbl key =
 
 let data_originated t _msg = t.originated <- t.originated + 1
 
+(* Pack a (flow_id, seq) uid into one immediate so the seen-set hashes
+   an int instead of a boxed pair.  Flow ids and per-flow sequence
+   numbers are both far below 2^31 in any feasible run. *)
+let packed_uid msg =
+  let flow, seq = Data_msg.uid msg in
+  (flow lsl 31) lxor seq
+
 let data_delivered t ~now msg =
-  let uid = Data_msg.uid msg in
+  let uid = packed_uid msg in
   if Hashtbl.mem t.seen uid then t.duplicates <- t.duplicates + 1
   else begin
     Hashtbl.replace t.seen uid ();

@@ -55,7 +55,12 @@ let build (sc : Scenario.t) =
   let mobility_rng = Rng.split root in
   let traffic_rng = Rng.split root in
   let metrics = Metrics.create () in
-  let channel = Net.Channel.create ~engine ~params:sc.net in
+  let channel =
+    Net.Channel.create ~engine
+      ~mode:(if sc.naive_channel then Net.Channel.Naive else Net.Channel.Grid)
+      ~max_speed:(Float.max sc.speed_max 0.)
+      ~params:sc.net ()
+  in
   Net.Channel.set_transmit_hook channel (fun src frame ->
       Trace.transmit engine src frame;
       Metrics.transmitted metrics frame);

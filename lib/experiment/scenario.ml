@@ -41,6 +41,7 @@ type t = {
   net : Net.Params.t;
   seed : int;
   audit_loops : bool;
+  naive_channel : bool;
 }
 
 let paper_50 protocol =
@@ -58,6 +59,7 @@ let paper_50 protocol =
     net = Net.Params.default;
     seed = 1;
     audit_loops = false;
+    naive_channel = false;
   }
 
 let paper_100 protocol =
@@ -94,4 +96,5 @@ let with_flows n t = { t with traffic = { t.traffic with Traffic.num_flows = n }
 let with_pause pause t = { t with pause }
 let with_duration duration t = { t with duration }
 let with_seed seed t = { t with seed }
+let with_naive_channel naive_channel t = { t with naive_channel }
 let scaled ~duration t = { t with duration }

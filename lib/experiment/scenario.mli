@@ -45,6 +45,10 @@ type t = {
   audit_loops : bool;
       (** audit the successor graph for loops at every routing-table
           change (expensive; tests and the loop-check example use it) *)
+  naive_channel : bool;
+      (** use the O(nodes)-per-transmission linear-scan channel instead
+          of the spatial grid — differential tests and the scaling
+          benchmark only; outcomes are byte-identical either way *)
 }
 
 val paper_50 : protocol -> t
@@ -60,5 +64,6 @@ val with_flows : int -> t -> t
 val with_pause : Sim.Time.t -> t -> t
 val with_duration : Sim.Time.t -> t -> t
 val with_seed : int -> t -> t
+val with_naive_channel : bool -> t -> t
 val scaled : duration:Sim.Time.t -> t -> t
 (** Shorten a paper scenario for laptop-scale reproduction. *)

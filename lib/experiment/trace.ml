@@ -19,28 +19,38 @@ let enable ?(out = Format.err_formatter) () =
 
 let stamp engine = Sim.Time.to_sec (Sim.Engine.now engine)
 
+(* Tracing sits on the per-transmission hot path; even a disabled
+   [Log.debug] allocates its message closure and walks the Logs
+   dispatch.  A level check first keeps the disabled case to one read. *)
+let on () = Logs.Src.level src = Some Logs.Debug
+
 let transmit engine node frame =
-  Log.debug (fun m ->
-      m "[%10.6f] %a TX %a" (stamp engine) Node_id.pp node Net.Frame.pp frame)
+  if on () then
+    Log.debug (fun m ->
+        m "[%10.6f] %a TX %a" (stamp engine) Node_id.pp node Net.Frame.pp frame)
 
 let deliver engine node msg =
-  Log.debug (fun m ->
-      m "[%10.6f] %a DELIVER %a (latency %.2f ms, %d hops)" (stamp engine)
-        Node_id.pp node Data_msg.pp msg
-        (Sim.Time.to_ms
-           (Sim.Time.diff (Sim.Engine.now engine) msg.Data_msg.origin_time))
-        msg.Data_msg.hops)
+  if on () then
+    Log.debug (fun m ->
+        m "[%10.6f] %a DELIVER %a (latency %.2f ms, %d hops)" (stamp engine)
+          Node_id.pp node Data_msg.pp msg
+          (Sim.Time.to_ms
+             (Sim.Time.diff (Sim.Engine.now engine) msg.Data_msg.origin_time))
+          msg.Data_msg.hops)
 
 let drop engine node msg ~reason =
-  Log.debug (fun m ->
-      m "[%10.6f] %a DROP %a (%s)" (stamp engine) Node_id.pp node Data_msg.pp
-        msg reason)
+  if on () then
+    Log.debug (fun m ->
+        m "[%10.6f] %a DROP %a (%s)" (stamp engine) Node_id.pp node Data_msg.pp
+          msg reason)
 
 let link_failure engine node ~next_hop =
-  Log.debug (fun m ->
-      m "[%10.6f] %a LINK-FAILURE to %a" (stamp engine) Node_id.pp node
-        Node_id.pp next_hop)
+  if on () then
+    Log.debug (fun m ->
+        m "[%10.6f] %a LINK-FAILURE to %a" (stamp engine) Node_id.pp node
+          Node_id.pp next_hop)
 
 let protocol_event engine node name =
-  Log.debug (fun m ->
-      m "[%10.6f] %a EVENT %s" (stamp engine) Node_id.pp node name)
+  if on () then
+    Log.debug (fun m ->
+        m "[%10.6f] %a EVENT %s" (stamp engine) Node_id.pp node name)

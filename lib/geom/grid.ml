@@ -1,0 +1,158 @@
+(* Uniform-cell spatial index over the plane.
+
+   The index is rebuilt wholesale by its owner whenever positions drift
+   (see Net.Channel) — there is no incremental update, which keeps the
+   bookkeeping trivially correct.  [build] counting-sorts the values by
+   the cell containing their position into flat parallel arrays: cell
+   [c] owns the slice [start.(c), start.(c + 1)) of [xs]/[ys]/[vs].
+
+   A disk query walks the cells overlapping the disk's bounding box and
+   tests each point with two unboxed float multiplies — no per-value
+   pointer chasing, no hashing, no allocation.  The value array is only
+   touched for points inside the disk, so the cache footprint of a query
+   is the handful of float-array lines covering the neighbourhood. *)
+
+type 'a t = {
+  cell : float;
+  (* Covered cell box of the latest build. *)
+  mutable x0 : int;
+  mutable y0 : int;
+  mutable cols : int;
+  mutable rows : int;
+  mutable n : int;
+  mutable start : int array;  (* cols * rows + 1 prefix offsets *)
+  mutable xs : float array;  (* point coordinates, cell-sorted *)
+  mutable ys : float array;
+  mutable vs : Obj.t array;  (* values, parallel to xs/ys *)
+  (* Build scratch, kept across builds to avoid churn. *)
+  mutable cur : int array;
+  mutable sx : float array;
+  mutable sy : float array;
+  mutable sv : Obj.t array;
+}
+
+let create ~cell =
+  if not (cell > 0.) then invalid_arg "Grid.create: cell size must be positive";
+  {
+    cell;
+    x0 = 0;
+    y0 = 0;
+    cols = 0;
+    rows = 0;
+    n = 0;
+    start = [||];
+    xs = [||];
+    ys = [||];
+    vs = [||];
+    cur = [||];
+    sx = [||];
+    sy = [||];
+    sv = [||];
+  }
+
+let cell_size t = t.cell
+let population t = t.n
+
+let coord t x = int_of_float (Float.floor (x /. t.cell))
+
+let clear t =
+  t.n <- 0;
+  t.cols <- 0;
+  t.rows <- 0;
+  (* Drop value pointers so cleared grids do not pin dead values. *)
+  Array.fill t.vs 0 (Array.length t.vs) (Obj.repr ());
+  Array.fill t.sv 0 (Array.length t.sv) (Obj.repr ())
+
+let build (type a) (t : a t) ~(pos : a -> Vec2.t) (items : a list) =
+  let n = List.length items in
+  t.n <- n;
+  if n = 0 then begin
+    t.cols <- 0;
+    t.rows <- 0
+  end
+  else begin
+    if Array.length t.sx < n then begin
+      t.sx <- Array.make n 0.;
+      t.sy <- Array.make n 0.;
+      t.sv <- Array.make n (Obj.repr ());
+      t.xs <- Array.make n 0.;
+      t.ys <- Array.make n 0.;
+      t.vs <- Array.make n (Obj.repr ())
+    end;
+    (* Pass 1: positions into scratch (in list order), cell bounding box. *)
+    let minx = ref max_int and maxx = ref min_int in
+    let miny = ref max_int and maxy = ref min_int in
+    let i = ref 0 in
+    List.iter
+      (fun v ->
+        let p = pos v in
+        let j = !i in
+        t.sx.(j) <- p.Vec2.x;
+        t.sy.(j) <- p.Vec2.y;
+        t.sv.(j) <- Obj.repr v;
+        let cx = coord t p.Vec2.x and cy = coord t p.Vec2.y in
+        if cx < !minx then minx := cx;
+        if cx > !maxx then maxx := cx;
+        if cy < !miny then miny := cy;
+        if cy > !maxy then maxy := cy;
+        incr i)
+      items;
+    t.x0 <- !minx;
+    t.y0 <- !miny;
+    t.cols <- !maxx - !minx + 1;
+    t.rows <- !maxy - !miny + 1;
+    let ncells = t.cols * t.rows in
+    if Array.length t.start < ncells + 1 then begin
+      t.start <- Array.make (ncells + 1) 0;
+      t.cur <- Array.make (ncells + 1) 0
+    end
+    else Array.fill t.start 0 (ncells + 1) 0;
+    (* Pass 2: count per cell (offset by one), then prefix-sum. *)
+    for j = 0 to n - 1 do
+      let c = ((coord t t.sy.(j) - t.y0) * t.cols) + (coord t t.sx.(j) - t.x0) in
+      t.start.(c + 1) <- t.start.(c + 1) + 1
+    done;
+    for c = 1 to ncells do
+      t.start.(c) <- t.start.(c) + t.start.(c - 1)
+    done;
+    Array.blit t.start 0 t.cur 0 (ncells + 1);
+    (* Pass 3: scatter into cell-sorted slots. *)
+    for j = 0 to n - 1 do
+      let c = ((coord t t.sy.(j) - t.y0) * t.cols) + (coord t t.sx.(j) - t.x0) in
+      let slot = t.cur.(c) in
+      t.cur.(c) <- slot + 1;
+      t.xs.(slot) <- t.sx.(j);
+      t.ys.(slot) <- t.sy.(j);
+      t.vs.(slot) <- t.sv.(j)
+    done
+  end
+
+let iter_disk (type a) (t : a t) ~center ~radius (f : a -> unit) =
+  if t.cols > 0 then begin
+    let max_i a b : int = if a > b then a else b
+    and min_i a b : int = if a < b then a else b in
+    let cx0 = max_i t.x0 (coord t (center.Vec2.x -. radius))
+    and cx1 = min_i (t.x0 + t.cols - 1) (coord t (center.Vec2.x +. radius))
+    and cy0 = max_i t.y0 (coord t (center.Vec2.y -. radius))
+    and cy1 = min_i (t.y0 + t.rows - 1) (coord t (center.Vec2.y +. radius)) in
+    let r2 = radius *. radius in
+    let px = center.Vec2.x and py = center.Vec2.y in
+    for cy = cy0 to cy1 do
+      let row = (cy - t.y0) * t.cols in
+      for cx = cx0 to cx1 do
+        let c = row + cx - t.x0 in
+        let i1 = Array.unsafe_get t.start (c + 1) - 1 in
+        for i = Array.unsafe_get t.start c to i1 do
+          let dx = Array.unsafe_get t.xs i -. px
+          and dy = Array.unsafe_get t.ys i -. py in
+          if (dx *. dx) +. (dy *. dy) <= r2 then
+            f (Obj.obj (Array.unsafe_get t.vs i))
+        done
+      done
+    done
+  end
+
+let fold_disk t ~center ~radius f init =
+  let acc = ref init in
+  iter_disk t ~center ~radius (fun v -> acc := f !acc v);
+  !acc

@@ -1,0 +1,40 @@
+(** Uniform-cell spatial index for disk queries over planar positions.
+
+    [build] snapshots a batch of values keyed by their position at build
+    time; [iter_disk] then visits exactly the values whose snapshot
+    position lies in a closed query disk.  There is deliberately no
+    incremental update: owners tracking moving values re-[build] when
+    their staleness bound is exceeded, and inflate query radii by the
+    accumulated drift so the visit set still covers everything truly in
+    range (see [Net.Channel]).
+
+    Internally values are counting-sorted by cell into flat parallel
+    arrays, so a query is a few unboxed float compares per nearby point
+    — no hashing or pointer chasing on the hot path.  Memory is
+    proportional to the cell bounding box of the batch, suiting bounded
+    arenas (simulation terrains) rather than unbounded coordinate
+    sets. *)
+
+type 'a t
+
+val create : cell:float -> 'a t
+(** [create ~cell] makes an empty grid with square cells of side [cell]
+    metres.  Raises [Invalid_argument] unless [cell > 0]. *)
+
+val cell_size : 'a t -> float
+
+val population : 'a t -> int
+(** Number of values in the latest [build] batch. *)
+
+val build : 'a t -> pos:('a -> Vec2.t) -> 'a list -> unit
+(** [build t ~pos items] replaces the grid contents with [items], each
+    keyed by [pos item] evaluated once during the build. *)
+
+val clear : 'a t -> unit
+(** Empty the grid and drop references to previously built values. *)
+
+val iter_disk : 'a t -> center:Vec2.t -> radius:float -> ('a -> unit) -> unit
+(** Visit every value whose build-time position lies in the closed disk
+    [center, radius].  Visit order is unspecified. *)
+
+val fold_disk : 'a t -> center:Vec2.t -> radius:float -> ('b -> 'a -> 'b) -> 'b -> 'b

@@ -13,7 +13,12 @@ let dist2 a b =
   (dx *. dx) +. (dy *. dy)
 
 let dist a b = sqrt (dist2 a b)
-let lerp a b u = add a (scale u (sub b a))
+
+(* Same arithmetic as [add a (scale u (sub b a))] term by term (float
+   multiplication commutes bit-exactly), without the two intermediate
+   records — this sits on the mobility fast path. *)
+let lerp a b u =
+  { x = a.x +. ((b.x -. a.x) *. u); y = a.y +. ((b.y -. a.y) *. u) }
 
 let normalize a =
   let n = norm a in

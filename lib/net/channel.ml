@@ -9,6 +9,7 @@ type rx = {
 
 type radio = {
   id : Node_id.t;
+  seq : int;  (** attach order; fixes query ordering across index modes *)
   position : unit -> Geom.Vec2.t;
   mutable receive : Frame.t -> unit;
   mutable medium : bool -> unit;
@@ -17,23 +18,61 @@ type radio = {
   mutable current_rx : rx option;
 }
 
+type mode = Naive | Grid
+
+(* How far a radio's true position may drift from its bucketed position
+   before the grid is rebuilt.  Queries are inflated by the current drift
+   bound, so any margin is exact; smaller margins rebuild more often,
+   larger ones scan more cells. *)
+let slack_margin_m = 25.
+
 type t = {
   engine : Engine.t;
   params : Params.t;
-  mutable radios : radio list;
+  mode : mode;
+  max_speed : float option;
+      (* [Some v]: no radio moves faster than [v] m/s, so bucketed
+         positions age at a known rate.  [None]: unknown speeds — the
+         grid is rebuilt whenever the clock has advanced, which is exact
+         for any mobility and still no worse than a naive scan. *)
+  mutable radios : radio list;  (* newest first *)
+  mutable next_seq : int;
+  grid : radio Geom.Grid.t;
+  mutable grid_built_at : Time.t;
+  mutable grid_fresh : bool;
   mutable hook : Node_id.t -> Frame.t -> unit;
   mutable tx_total : int;
 }
 
-let create ~engine ~params =
-  { engine; params; radios = []; hook = (fun _ _ -> ()); tx_total = 0 }
+let create ~engine ?(mode = Grid) ?max_speed ~params () =
+  {
+    engine;
+    params;
+    mode;
+    max_speed;
+    radios = [];
+    next_seq = 0;
+    (* Cell side = half the carrier-sense range: a CS-disk query scans
+       ~25 cells, but the cells hug the disk, so the candidate superset
+       is ~1.7x the true disk population (a full-range cell side gives
+       9 coarse cells and a ~2.9x superset — more wasted exact distance
+       checks per query, which dominate now that cells are one array
+       load each). *)
+    grid = Geom.Grid.create ~cell:(params.Params.cs_range_m /. 2.);
+    grid_built_at = Time.zero;
+    grid_fresh = false;
+    hook = (fun _ _ -> ());
+    tx_total = 0;
+  }
 
 let params t = t.params
+let mode t = t.mode
 
 let attach t ~id ~position =
   let r =
     {
       id;
+      seq = t.next_seq;
       position;
       receive = ignore;
       medium = ignore;
@@ -42,7 +81,9 @@ let attach t ~id ~position =
       current_rx = None;
     }
   in
+  t.next_seq <- t.next_seq + 1;
   t.radios <- r :: t.radios;
+  t.grid_fresh <- false;
   r
 
 let set_receiver r f = r.receive <- f
@@ -54,14 +95,76 @@ let carrier_busy r = r.busy_count > 0 || r.tx_count > 0
 
 let busy _t r = carrier_busy r
 
-let in_range t a b =
-  Geom.Vec2.dist2 (a.position ()) (b.position ()) <= t.params.range_m *. t.params.range_m
+(* ---- Spatial index ----------------------------------------------------- *)
+
+(* Upper bound on how far any radio may be from where the grid bucketed
+   it.  With a known speed bound this is speed x age; with an unknown one
+   [refresh] rebuilds on every clock advance, so the drift is zero. *)
+let drift_bound t =
+  match t.max_speed with
+  | None -> 0.
+  | Some v ->
+      let age = Time.diff (Engine.now t.engine) t.grid_built_at in
+      if Time.equal age Time.zero then 0. else v *. Time.to_sec age
+
+let rebuild_grid t =
+  Geom.Grid.build t.grid ~pos:(fun r -> r.position ()) t.radios;
+  t.grid_built_at <- Engine.now t.engine;
+  t.grid_fresh <- true
+
+(* Rebuild the grid if stale; returns the post-rebuild drift bound so
+   queries pay for at most one clock-to-seconds conversion. *)
+let refresh t =
+  if not t.grid_fresh then rebuild_grid t;
+  match t.max_speed with
+  | None ->
+      if Time.(Engine.now t.engine > t.grid_built_at) then rebuild_grid t;
+      0.
+  | Some _ ->
+      let b = drift_bound t in
+      if b > slack_margin_m then begin
+        rebuild_grid t;
+        0.
+      end
+      else b
+
+(* Grid queries visit each candidate exactly once, applying the exact
+   range predicate against live positions and inserting survivors into a
+   list ordered by attach sequence, newest first — the exact set and
+   order a naive scan of [t.radios] produces.  The query disk is
+   inflated by the drift bound, so the candidate superset always covers
+   the true disk population; per-seed determinism therefore does not
+   depend on the index.  Survivor lists are a handful of radios, so
+   ordered insertion beats a post-hoc [List.sort]. *)
+let rec ins_pair ((x, _) as p) l =
+  match l with
+  | [] -> [ p ]
+  | (((y, _) as q) :: tl) as full ->
+      if x.seq > y.seq then p :: full else q :: ins_pair p tl
+
+let rec ins_radio x l =
+  match l with
+  | [] -> [ x ]
+  | (y :: tl) as full -> if x.seq > y.seq then x :: full else y :: ins_radio x tl
 
 let neighbors_in_range t r =
-  List.filter_map
-    (fun other ->
-      if other != r && in_range t r other then Some other.id else None)
-    t.radios
+  let center = r.position () in
+  let rng2 = t.params.range_m *. t.params.range_m in
+  match t.mode with
+  | Naive ->
+      List.filter_map
+        (fun other ->
+          if other != r && Geom.Vec2.dist2 center (other.position ()) <= rng2
+          then Some other.id
+          else None)
+        t.radios
+  | Grid ->
+      let radius = t.params.range_m +. refresh t in
+      let acc = ref [] in
+      Geom.Grid.iter_disk t.grid ~center ~radius (fun other ->
+          if other != r && Geom.Vec2.dist2 center (other.position ()) <= rng2
+          then acc := ins_radio other !acc);
+      List.map (fun o -> o.id) !acc
 
 let set_transmit_hook t f = t.hook <- f
 let transmissions t = t.tx_total
@@ -84,23 +187,39 @@ let transmit t src frame ~duration =
      to the carrier-sense range defer and suffer interference; only those
      within decode range can receive the frame. *)
   let src_pos = src.position () in
-  let in_cs r =
-    Geom.Vec2.dist2 src_pos (r.position ())
-    <= t.params.cs_range_m *. t.params.cs_range_m
+  let cs2 = t.params.cs_range_m *. t.params.cs_range_m in
+  let rng2 = t.params.range_m *. t.params.range_m in
+  (* One distance computation per candidate; [sqrt d2] below equals
+     [Vec2.dist] bit-for-bit, so caching it cannot change outcomes. *)
+  let touched =
+    match t.mode with
+    | Naive ->
+        List.filter_map
+          (fun r ->
+            if r == src then None
+            else
+              let d2 = Geom.Vec2.dist2 src_pos (r.position ()) in
+              if d2 <= cs2 then Some (r, d2) else None)
+          t.radios
+    | Grid ->
+        let radius = t.params.cs_range_m +. refresh t in
+        let acc = ref [] in
+        Geom.Grid.iter_disk t.grid ~center:src_pos ~radius (fun r ->
+            if r != src then begin
+              let d2 = Geom.Vec2.dist2 src_pos (r.position ()) in
+              if d2 <= cs2 then acc := ins_pair (r, d2) !acc
+            end);
+        !acc
   in
-  let decodable r =
-    Geom.Vec2.dist2 src_pos (r.position ())
-    <= t.params.range_m *. t.params.range_m
-  in
-  let touched = List.filter (fun r -> r != src && in_cs r) t.radios in
   let was_busy_src = carrier_busy src in
   src.tx_count <- src.tx_count + 1;
   if not was_busy_src then src.medium true;
   let deliveries =
     List.map
-      (fun r ->
+      (fun (r, d2) ->
         mark_busy r;
-        let dist = Geom.Vec2.dist src_pos (r.position ()) in
+        let dist = sqrt d2 in
+        let decodable = d2 <= rng2 in
         let lock () =
           let rx = { rx_frame = frame; tx_dist = dist; corrupted = false } in
           r.current_rx <- Some rx;
@@ -117,7 +236,7 @@ let transmit t src frame ~duration =
               if dist >= ratio *. rx.tx_dist then
                 (* New arrival too weak to disturb the locked frame. *)
                 (r, None)
-              else if rx.tx_dist >= ratio *. dist && decodable r then begin
+              else if rx.tx_dist >= ratio *. dist && decodable then begin
                 (* New arrival captures the receiver. *)
                 rx.corrupted <- true;
                 lock ()
@@ -126,7 +245,7 @@ let transmit t src frame ~duration =
                 rx.corrupted <- true;
                 (r, None)
               end
-          | None -> if decodable r then lock () else (r, None))
+          | None -> if decodable then lock () else (r, None))
       touched
   in
   ignore

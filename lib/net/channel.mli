@@ -5,7 +5,14 @@
     Collision model: a radio that sees two temporally overlapping
     transmissions decodes neither, and a radio that is itself transmitting
     hears nothing.  Carrier sense is binary — the medium is busy for a
-    radio whenever at least one in-range transmission is in the air. *)
+    radio whenever at least one in-range transmission is in the air.
+
+    Two interchangeable neighbour-query paths exist: a [Naive] linear
+    scan of every radio and a [Grid] spatial hash keyed by the
+    carrier-sense range.  Both touch identical radios in identical order
+    (the grid over-approximates by a drift bound and then re-applies the
+    exact range predicate), so per-seed runs are byte-identical across
+    modes; [Naive] is retained for differential testing. *)
 
 open Packets
 
@@ -13,9 +20,23 @@ type t
 
 type radio
 
-val create : engine:Sim.Engine.t -> params:Params.t -> t
+type mode =
+  | Naive  (** O(radios) scan per transmission — reference path *)
+  | Grid  (** spatial-hash query of the cells overlapping the CS disk *)
+
+val create :
+  engine:Sim.Engine.t -> ?mode:mode -> ?max_speed:float -> params:Params.t -> unit -> t
+(** [create ~engine ~params] builds a channel using the [Grid] index.
+    [max_speed] is an upper bound (m/s) on any radio's speed: the grid is
+    rebuilt only when bucketed positions may have drifted past a fixed
+    margin, and queries are inflated by the current drift bound.  When
+    omitted, speeds are treated as unknown and the grid is rebuilt on
+    every clock advance — exact for any mobility, and never worse than
+    the naive scan. *)
 
 val params : t -> Params.t
+
+val mode : t -> mode
 
 val attach : t -> id:Node_id.t -> position:(unit -> Geom.Vec2.t) -> radio
 (** Register a node's radio.  [position] is queried at event times (it

@@ -37,30 +37,43 @@ let queue_for t dst =
       Node_id.Table.replace t.by_dst dst q;
       q
 
+(* Emptied queues leave the table immediately: a long mobile run buffers
+   for ever-changing destinations, and keeping a dead queue per
+   destination ever seen is an unbounded leak. *)
+let prune t dst q = if Queue.is_empty q then Node_id.Table.remove t.by_dst dst
+
 (* Evict the globally oldest packet to make room. *)
 let evict_oldest t =
   let oldest = ref None in
   Node_id.Table.iter
-    (fun _ q ->
+    (fun dst q ->
       match Queue.peek_opt q with
       | Some item -> (
           match !oldest with
-          | Some (best, _) when Time.(best.buffered_at <= item.buffered_at) ->
+          | Some (best, _, _) when Time.(best.buffered_at <= item.buffered_at) ->
               ()
-          | _ -> oldest := Some (item, q))
+          | _ -> oldest := Some (item, dst, q))
       | None -> ())
     t.by_dst;
   match !oldest with
   | None -> ()
-  | Some (_, q) ->
+  | Some (_, dst, q) ->
       let item = Queue.pop q in
       t.count <- t.count - 1;
+      prune t dst q;
       t.on_drop item.msg ~reason:"buffer-evicted"
 
 let push t msg =
-  let q = queue_for t msg.Data_msg.dst in
-  trim_expired t q;
+  let dst = msg.Data_msg.dst in
+  (match Node_id.Table.find_opt t.by_dst dst with
+  | Some q ->
+      trim_expired t q;
+      prune t dst q
+  | None -> ());
   if t.count >= t.capacity then evict_oldest t;
+  (* Re-fetch: the eviction above may have emptied and removed this
+     destination's queue. *)
+  let q = queue_for t dst in
   Queue.push { msg; buffered_at = Engine.now t.engine } q;
   t.count <- t.count + 1
 
@@ -72,6 +85,7 @@ let take t dst =
       let items = List.of_seq (Queue.to_seq q) in
       t.count <- t.count - Queue.length q;
       Queue.clear q;
+      Node_id.Table.remove t.by_dst dst;
       List.map (fun i -> i.msg) items
 
 let drop_all t dst ~reason =
@@ -82,6 +96,9 @@ let pending t dst =
   | None -> false
   | Some q ->
       trim_expired t q;
+      prune t dst q;
       not (Queue.is_empty q)
 
 let length t = t.count
+
+let destinations t = Node_id.Table.length t.by_dst

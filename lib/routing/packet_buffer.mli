@@ -28,3 +28,8 @@ val drop_all : t -> Node_id.t -> reason:string -> unit
 
 val pending : t -> Node_id.t -> bool
 val length : t -> int
+
+val destinations : t -> int
+(** Number of destinations with a live queue entry.  Emptied queues are
+    removed eagerly, so this stays bounded by [length] (and hence by the
+    capacity) no matter how many destinations were ever buffered for. *)

@@ -3,12 +3,17 @@ open Packets
 
 type 'a entry = { mutable value : 'a; mutable expires : Time.t }
 
+(* Table keys pack (origin, rreq_id) into one immediate int — node ids
+   and per-node flood counters are far below 2^31, so the packing is
+   injective and the table hashes an int instead of a boxed pair. *)
 type 'a t = {
   engine : Engine.t;
   ttl : Time.t;
-  table : (Node_id.t * int, 'a entry) Hashtbl.t;
+  table : (int, 'a entry) Hashtbl.t;
   mutable ops_since_purge : int;
 }
+
+let key ~origin ~rreq_id = (Node_id.to_int origin lsl 31) lxor rreq_id
 
 let create ~engine ~ttl =
   { engine; ttl; table = Hashtbl.create 64; ops_since_purge = 0 }
@@ -37,10 +42,10 @@ let live t e = Time.(e.expires > now t)
 
 let find t ~origin ~rreq_id =
   tick t;
-  match Hashtbl.find_opt t.table (origin, rreq_id) with
+  match Hashtbl.find_opt t.table (key ~origin ~rreq_id) with
   | Some e when live t e -> Some e.value
   | Some _ ->
-      Hashtbl.remove t.table (origin, rreq_id);
+      Hashtbl.remove t.table (key ~origin ~rreq_id);
       None
   | None -> None
 
@@ -49,14 +54,14 @@ let mem t ~origin ~rreq_id = find t ~origin ~rreq_id <> None
 let add t ~origin ~rreq_id value =
   tick t;
   let expires = Time.add (now t) t.ttl in
-  match Hashtbl.find_opt t.table (origin, rreq_id) with
+  match Hashtbl.find_opt t.table (key ~origin ~rreq_id) with
   | Some e ->
       e.value <- value;
       e.expires <- expires
-  | None -> Hashtbl.replace t.table (origin, rreq_id) { value; expires }
+  | None -> Hashtbl.replace t.table (key ~origin ~rreq_id) { value; expires }
 
 let update t ~origin ~rreq_id f =
-  match Hashtbl.find_opt t.table (origin, rreq_id) with
+  match Hashtbl.find_opt t.table (key ~origin ~rreq_id) with
   | Some e when live t e -> e.value <- f e.value
   | Some _ | None -> ()
 

@@ -25,12 +25,21 @@ let after t d action = at t (Time.add t.clock d) action
 let cancel = Event_queue.cancel
 
 let every t ?(jitter = fun () -> Time.zero) ~start ~interval ~until action =
+  if Time.(interval <= Time.zero) then
+    invalid_arg "Engine.every: interval must be positive";
   let rec arm time =
-    if Time.(time < until) then
-      ignore
-        (at t (Time.add time (jitter ())) (fun () ->
-             action ();
-             arm (Time.add time interval)))
+    if Time.(time < until) then begin
+      (* The cadence is jitter-free ([time], [time + interval], ...); the
+         jitter only offsets each firing.  A jittered firing that lands at
+         or past the horizon is skipped, not fired late. *)
+      let fire = Time.add time (jitter ()) in
+      if Time.(fire < until) then
+        ignore
+          (at t fire (fun () ->
+               action ();
+               arm (Time.add time interval)))
+      else arm (Time.add time interval)
+    end
   in
   arm start
 
@@ -44,24 +53,36 @@ let step t =
       true
 
 let run ?until ?max_events t =
-  let horizon_ok () =
-    match until with
-    | None -> true
-    | Some limit -> (
-        match Event_queue.next_time t.queue with
-        | None -> false
-        | Some next -> Time.(next <= limit))
-  in
   let budget_ok () =
     match max_events with None -> true | Some m -> t.fired < m
   in
-  while horizon_ok () && budget_ok () && step t do
-    ()
+  let next () =
+    match until with
+    | None -> Event_queue.pop t.queue
+    | Some limit -> Event_queue.pop_until t.queue limit
+  in
+  let running = ref true in
+  while !running && budget_ok () do
+    match next () with
+    | None -> running := false
+    | Some (time, action) ->
+        t.clock <- time;
+        t.fired <- t.fired + 1;
+        action ()
   done;
   (* Advance the clock to the horizon — idle virtual time passes too, so
-     repeated bounded runs observe consistent timestamps. *)
+     repeated bounded runs observe consistent timestamps.  Not when the
+     event budget stopped us with work still pending at or before the
+     horizon: fast-forwarding then would move the clock backwards on the
+     next [step]. *)
   match until with
-  | Some limit when Time.(t.clock < limit) -> t.clock <- limit
+  | Some limit when Time.(t.clock < limit) ->
+      let pending_before_horizon =
+        match Event_queue.next_time t.queue with
+        | Some next -> Time.(next <= limit)
+        | None -> false
+      in
+      if not pending_before_horizon then t.clock <- limit
   | Some _ | None -> ()
 
 let events_processed t = t.fired

@@ -30,14 +30,20 @@ val every : t -> ?jitter:(unit -> Time.t) -> start:Time.t -> interval:Time.t
   -> until:Time.t -> (unit -> unit) -> unit
 (** [every t ~start ~interval ~until f] runs [f] at [start],
     [start+interval], ... while the firing time is before [until].
-    [jitter] adds a per-firing offset. *)
+    [jitter] adds a per-firing offset; a jittered firing landing at or
+    past [until] is skipped (the jitter-free cadence continues).  Raises
+    [Invalid_argument] if [interval <= 0] — a zero interval would
+    schedule an unbounded same-instant event storm. *)
 
 val run : ?until:Time.t -> ?max_events:int -> t -> unit
 (** Process events in order until the queue drains, the clock passes
-    [until], or [max_events] events have fired.  When [until] is given,
-    the clock always ends at [until] (or later) — idle virtual time
-    passes, so timeouts measured across repeated bounded runs behave as
-    expected. *)
+    [until], or [max_events] events have fired.  When [until] is given
+    and no pending event remains at or before it, the clock ends at
+    [until] — idle virtual time passes, so timeouts measured across
+    repeated bounded runs behave as expected.  When [max_events] stops
+    the run with events still due before the horizon, the clock stays at
+    the last fired event so a resumed run never observes time moving
+    backwards. *)
 
 val step : t -> bool
 (** Fire the single earliest event.  Returns false when idle. *)

@@ -5,8 +5,16 @@ type handle = {
   mutable cancelled : bool;
 }
 
+(* The heap keeps its sort keys — (time, sequence) — in parallel unboxed
+   int arrays beside the handle array.  Sift comparisons then read plain
+   ints instead of chasing two handle records per step, and the
+   hole-shift sift loops below move each slot once instead of swapping,
+   which also halves the pointer-array writes (each of which pays the
+   GC write barrier). *)
 type t = {
   mutable heap : handle array;
+  mutable times : int array;  (* times.(i) = (heap.(i).time :> int) *)
+  mutable seqs : int array;  (* seqs.(i) = heap.(i).seq *)
   mutable size : int;
   mutable next_seq : int;
 }
@@ -14,58 +22,104 @@ type t = {
 let dummy =
   { time = Time.zero; seq = -1; action = ignore; cancelled = true }
 
-let create () = { heap = Array.make 64 dummy; size = 0; next_seq = 0 }
+let create () =
+  {
+    heap = Array.make 64 dummy;
+    times = Array.make 64 0;
+    seqs = Array.make 64 (-1);
+    size = 0;
+    next_seq = 0;
+  }
 
-let before a b =
-  let c = Time.compare a.time b.time in
-  if c <> 0 then c < 0 else a.seq < b.seq
+(* Indices below are maintained in bounds by construction, so unchecked
+   accesses are safe. *)
 
-let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if before t.heap.(i) t.heap.(parent) then begin
-      swap t i parent;
-      sift_up t parent
+(* Move the hole at [i0] up past every larger parent, then drop the
+   saved slot into the final position. *)
+let sift_up t i0 h tm sq =
+  let i = ref i0 in
+  let moving = ref true in
+  while !moving && !i > 0 do
+    let p = (!i - 1) / 2 in
+    let tp = Array.unsafe_get t.times p in
+    if tp > tm || (tp = tm && Array.unsafe_get t.seqs p > sq) then begin
+      Array.unsafe_set t.heap !i (Array.unsafe_get t.heap p);
+      Array.unsafe_set t.times !i tp;
+      Array.unsafe_set t.seqs !i (Array.unsafe_get t.seqs p);
+      i := p
     end
-  end
+    else moving := false
+  done;
+  Array.unsafe_set t.heap !i h;
+  Array.unsafe_set t.times !i tm;
+  Array.unsafe_set t.seqs !i sq
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
-  end
+(* Symmetric: move the hole at [0] down past every smaller child. *)
+let sift_down t h tm sq =
+  let n = t.size in
+  let i = ref 0 in
+  let moving = ref true in
+  while !moving do
+    let l = (2 * !i) + 1 in
+    if l >= n then moving := false
+    else begin
+      let r = l + 1 in
+      let c =
+        if r < n then begin
+          let tl = Array.unsafe_get t.times l
+          and tr = Array.unsafe_get t.times r in
+          if
+            tr < tl
+            || (tr = tl && Array.unsafe_get t.seqs r < Array.unsafe_get t.seqs l)
+          then r
+          else l
+        end
+        else l
+      in
+      let tc = Array.unsafe_get t.times c in
+      if tc < tm || (tc = tm && Array.unsafe_get t.seqs c < sq) then begin
+        Array.unsafe_set t.heap !i (Array.unsafe_get t.heap c);
+        Array.unsafe_set t.times !i tc;
+        Array.unsafe_set t.seqs !i (Array.unsafe_get t.seqs c);
+        i := c
+      end
+      else moving := false
+    end
+  done;
+  Array.unsafe_set t.heap !i h;
+  Array.unsafe_set t.times !i tm;
+  Array.unsafe_set t.seqs !i sq
 
 let grow t =
-  let bigger = Array.make (2 * Array.length t.heap) dummy in
-  Array.blit t.heap 0 bigger 0 t.size;
-  t.heap <- bigger
+  let cap = 2 * Array.length t.heap in
+  let heap' = Array.make cap dummy
+  and times' = Array.make cap 0
+  and seqs' = Array.make cap (-1) in
+  Array.blit t.heap 0 heap' 0 t.size;
+  Array.blit t.times 0 times' 0 t.size;
+  Array.blit t.seqs 0 seqs' 0 t.size;
+  t.heap <- heap';
+  t.times <- times';
+  t.seqs <- seqs'
 
 let schedule t time action =
   if t.size = Array.length t.heap then grow t;
-  let h = { time; seq = t.next_seq; action; cancelled = false } in
-  t.next_seq <- t.next_seq + 1;
-  t.heap.(t.size) <- h;
+  let seq = t.next_seq in
+  let h = { time; seq; action; cancelled = false } in
+  t.next_seq <- seq + 1;
   t.size <- t.size + 1;
-  sift_up t (t.size - 1);
+  sift_up t (t.size - 1) h (time :> int) seq;
   h
 
 let cancel h = h.cancelled <- true
 let is_cancelled h = h.cancelled
 
 let remove_top t =
-  t.size <- t.size - 1;
-  t.heap.(0) <- t.heap.(t.size);
-  t.heap.(t.size) <- dummy;
-  if t.size > 0 then sift_down t 0
+  let last = t.size - 1 in
+  t.size <- last;
+  let h = t.heap.(last) in
+  t.heap.(last) <- dummy;
+  if last > 0 then sift_down t h t.times.(last) t.seqs.(last)
 
 (* Discard cancelled events sitting at the top of the heap. *)
 let rec settle t =
@@ -85,6 +139,21 @@ let pop t =
     let h = t.heap.(0) in
     remove_top t;
     Some (h.time, h.action)
+  end
+
+(* [pop]'s horizon-bounded variant: one settle and one top read decide
+   both "is there an event" and "is it due", instead of a [next_time]
+   peek followed by a [pop] doing the same work again. *)
+let pop_until t limit =
+  settle t;
+  if t.size = 0 then None
+  else begin
+    let h = t.heap.(0) in
+    if Time.compare h.time limit > 0 then None
+    else begin
+      remove_top t;
+      Some (h.time, h.action)
+    end
   end
 
 let is_empty t =

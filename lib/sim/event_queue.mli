@@ -26,6 +26,11 @@ val next_time : t -> Time.t option
 val pop : t -> (Time.t * (unit -> unit)) option
 (** Remove and return the earliest live event. *)
 
+val pop_until : t -> Time.t -> (Time.t * (unit -> unit)) option
+(** [pop_until q limit] is [pop q] if the earliest live event is at or
+    before [limit], and [None] (leaving the event queued) otherwise.
+    Cheaper than [next_time] followed by [pop]. *)
+
 val is_empty : t -> bool
 (** True when no live events remain. *)
 

@@ -1,53 +1,53 @@
-type t = int64
+type t = int
 
-let zero = 0L
+let zero = 0
 
 let ns n =
   if Int64.compare n 0L < 0 then invalid_arg "Time.ns: negative";
-  n
+  Int64.to_int n
 
 let of_float_ns x =
   if x < 0. then invalid_arg "Time: negative duration";
-  Int64.of_float (Float.round x)
+  int_of_float (Float.round x)
 
 let us x = of_float_ns (x *. 1e3)
 let ms x = of_float_ns (x *. 1e6)
 let sec x = of_float_ns (x *. 1e9)
 
-let to_ns t = t
-let to_us t = Int64.to_float t /. 1e3
-let to_ms t = Int64.to_float t /. 1e6
-let to_sec t = Int64.to_float t /. 1e9
+let to_ns t = Int64.of_int t
+let to_us t = float_of_int t /. 1e3
+let to_ms t = float_of_int t /. 1e6
+let to_sec t = float_of_int t /. 1e9
 
-let add = Int64.add
+let add a b = a + b
 
 let diff a b =
-  if Int64.compare a b < 0 then invalid_arg "Time.diff: negative result";
-  Int64.sub a b
+  if b > a then invalid_arg "Time.diff: negative result";
+  a - b
 
 let mul t k =
   if k < 0 then invalid_arg "Time.mul: negative factor";
-  Int64.mul t (Int64.of_int k)
+  t * k
 
 let div t k =
   if k <= 0 then invalid_arg "Time.div: non-positive divisor";
-  Int64.div t (Int64.of_int k)
+  t / k
 
 let scale t x =
   if x < 0. then invalid_arg "Time.scale: negative factor";
-  of_float_ns (Int64.to_float t *. x)
+  of_float_ns (float_of_int t *. x)
 
-let compare = Int64.compare
-let equal = Int64.equal
-let ( < ) a b = compare a b < 0
-let ( <= ) a b = compare a b <= 0
-let ( > ) a b = compare a b > 0
-let ( >= ) a b = compare a b >= 0
-let min a b = if a <= b then a else b
-let max a b = if a >= b then a else b
+let compare = Int.compare
+let equal = Int.equal
+let ( < ) (a : t) (b : t) = Stdlib.( < ) a b
+let ( <= ) (a : t) (b : t) = Stdlib.( <= ) a b
+let ( > ) (a : t) (b : t) = Stdlib.( > ) a b
+let ( >= ) (a : t) (b : t) = Stdlib.( >= ) a b
+let min (a : t) (b : t) = Stdlib.min a b
+let max (a : t) (b : t) = Stdlib.max a b
 
 let pp fmt t =
-  let x = Int64.to_float t in
+  let x = float_of_int t in
   if Stdlib.( < ) x 1e3 then Format.fprintf fmt "%.0fns" x
   else if Stdlib.( < ) x 1e6 then Format.fprintf fmt "%.3fus" (x /. 1e3)
   else if Stdlib.( < ) x 1e9 then Format.fprintf fmt "%.3fms" (x /. 1e6)

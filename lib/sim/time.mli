@@ -1,11 +1,14 @@
 (** Simulation time.
 
     Time is a count of nanoseconds since the start of the simulation,
-    stored as an [int64].  Using integer nanoseconds keeps event ordering
-    exact and runs bit-for-bit reproducible across platforms, which the
-    deterministic-replay tests rely on. *)
+    stored as an immediate [int] (63-bit: ±146 years of simulated time).
+    Using integer nanoseconds keeps event ordering exact and runs
+    bit-for-bit reproducible across platforms, which the
+    deterministic-replay tests rely on; the immediate representation
+    keeps clock arithmetic and event-queue comparisons allocation-free.
+    The [ns]/[to_ns] boundary stays [int64] so callers are unaffected. *)
 
-type t = private int64
+type t = private int
 
 val zero : t
 

@@ -31,6 +31,7 @@ let small_scenario ?(protocol = Scenario.ldr) ?(seed = 7) ?(audit = false)
     net = Net.Params.default;
     seed;
     audit_loops = audit;
+    naive_channel = false;
   }
 
 let static_delivery ?(threshold = 0.95) protocol () =

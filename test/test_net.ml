@@ -24,7 +24,7 @@ type node_rig = {
 
 let rig ?(params = Net.Params.default) positions =
   let engine = Engine.create ~seed:5 () in
-  let channel = Net.Channel.create ~engine ~params in
+  let channel = Net.Channel.create ~engine ~params () in
   let nodes =
     List.mapi
       (fun i pos ->
@@ -212,7 +212,7 @@ let mobility_breaks_link () =
   (* A node walking out of range: early unicasts succeed, later ones
      fail — the mobility-driven position function is consulted live. *)
   let engine = Engine.create ~seed:9 () in
-  let channel = Net.Channel.create ~engine ~params:Net.Params.default in
+  let channel = Net.Channel.create ~engine ~params:Net.Params.default () in
   let delivered = ref 0 and failed = ref 0 in
   let walker =
     Mobility.scripted
@@ -254,6 +254,77 @@ let mobility_breaks_link () =
      the sum is at least the number of sends. *)
   checkb "every send accounted" true (!delivered + !failed >= 10)
 
+(* ---- Grid vs. naive channel: differential determinism ----------------- *)
+
+(* The spatial-grid index must be an invisible optimisation: on the same
+   seed, a run with the grid channel and one with the naive linear-scan
+   channel must touch the same radios in the same order and therefore
+   produce identical outcomes, down to every counter. *)
+let grid_matches_naive_channel () =
+  let open Experiment in
+  List.iter
+    (fun seed ->
+      let sc =
+        Scenario.paper_100 Scenario.ldr
+        |> Scenario.with_duration (Time.sec 12.)
+        |> Scenario.with_seed seed
+      in
+      let naive = Runner.run (Scenario.with_naive_channel true sc) in
+      let grid = Runner.run sc in
+      let ctx = Printf.sprintf "seed %d" seed in
+      checkb (ctx ^ ": summary identical") true
+        (Stdlib.compare naive.Runner.summary grid.Runner.summary = 0);
+      checki (ctx ^ ": events") naive.Runner.events_processed
+        grid.Runner.events_processed;
+      checki (ctx ^ ": transmissions") naive.Runner.transmissions
+        grid.Runner.transmissions;
+      checki (ctx ^ ": queue drops") naive.Runner.mac_queue_drops
+        grid.Runner.mac_queue_drops;
+      checki (ctx ^ ": unicast failures") naive.Runner.mac_unicast_failures
+        grid.Runner.mac_unicast_failures;
+      checkb (ctx ^ ": control kinds identical") true
+        (Metrics.control_by_kind naive.Runner.metrics
+        = Metrics.control_by_kind grid.Runner.metrics);
+      checkb (ctx ^ ": drop reasons identical") true
+        (Metrics.drops_by_reason naive.Runner.metrics
+        = Metrics.drops_by_reason grid.Runner.metrics);
+      checki (ctx ^ ": delivered") (Metrics.delivered naive.Runner.metrics)
+        (Metrics.delivered grid.Runner.metrics))
+    [ 1; 42 ]
+
+let grid_neighbors_match_naive () =
+  (* Same static layout under both modes: identical neighbour queries. *)
+  let layout = [ v 0. 0.; v 100. 0.; v 260. 0.; v 400. 50.; v 900. 0. ] in
+  let build mode =
+    let engine = Engine.create ~seed:5 () in
+    let channel =
+      Net.Channel.create ~engine ~mode ~max_speed:0. ~params:Net.Params.default ()
+    in
+    List.mapi
+      (fun i pos ->
+        Net.Mac.create ~engine ~channel ~rng:(Rng.create (100 + i)) ~id:(n i)
+          ~position:(fun () -> pos)
+          {
+            Net.Mac.receive = (fun _ ~from:_ -> ());
+            promiscuous = (fun _ ~from:_ ~dst:_ -> ());
+            link_failure = (fun _ ~next_hop:_ -> ());
+          })
+      layout
+    |> fun macs -> (channel, macs)
+  in
+  let ch_g, macs_g = build Net.Channel.Grid in
+  let ch_n, macs_n = build Net.Channel.Naive in
+  List.iteri
+    (fun i mg ->
+      let mn = List.nth macs_n i in
+      let ng = Net.Channel.neighbors_in_range ch_g (Net.Mac.radio mg) in
+      let nn = Net.Channel.neighbors_in_range ch_n (Net.Mac.radio mn) in
+      checkb
+        (Printf.sprintf "node %d neighbour lists identical" i)
+        true
+        (List.map Node_id.to_int ng = List.map Node_id.to_int nn))
+    macs_g
+
 (* Randomized end-to-end MAC property: every unicast is either received
    at its destination or reported as a link failure to its sender —
    possibly both (a delivered frame whose ACK was lost), but never
@@ -264,7 +335,7 @@ let mac_accounting_prop =
     (fun (seed, k) ->
       let engine = Engine.create ~seed () in
       let params = Net.Params.default in
-      let channel = Net.Channel.create ~engine ~params in
+      let channel = Net.Channel.create ~engine ~params () in
       let rng = Rng.create seed in
       let received = Array.make k false and failed = Array.make k false in
       let macs =
@@ -319,5 +390,12 @@ let () =
           Alcotest.test_case "broadcast no retry" `Quick broadcast_no_retry;
           Alcotest.test_case "mobility breaks link" `Quick mobility_breaks_link;
           qt mac_accounting_prop;
+        ] );
+      ( "channel-grid",
+        [
+          Alcotest.test_case "neighbour queries match naive" `Quick
+            grid_neighbors_match_naive;
+          Alcotest.test_case "grid vs naive byte-identical outcome" `Quick
+            grid_matches_naive_channel;
         ] );
     ]

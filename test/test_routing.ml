@@ -148,6 +148,38 @@ let buffer_drop_all () =
   checki "two dropped" 2 (List.length !drops);
   checki "buffer empty" 0 (Routing.Packet_buffer.length b)
 
+let buffer_table_stays_bounded () =
+  (* Churn over many distinct destinations, as a long mobile run does.
+     Emptied per-destination queues must leave the table: the number of
+     tracked destinations stays bounded by the live occupancy, not by the
+     number of destinations ever buffered for. *)
+  let engine = Engine.create () in
+  let b =
+    Routing.Packet_buffer.create ~engine ~capacity:4 ~max_age:(Time.sec 30.)
+      ~on_drop:(fun _ ~reason:_ -> ())
+  in
+  for i = 0 to 199 do
+    Routing.Packet_buffer.push b (msg ~flow:i ~src:0 ~dst:(i mod 100) ())
+  done;
+  checki "occupancy at capacity" 4 (Routing.Packet_buffer.length b);
+  checkb "destination table bounded by occupancy" true
+    (Routing.Packet_buffer.destinations b <= Routing.Packet_buffer.length b);
+  (* Draining with [take] and expiring with [pending] also release their
+     table entries. *)
+  for d = 0 to 99 do
+    ignore (Routing.Packet_buffer.take b (n d))
+  done;
+  checki "empty after draining" 0 (Routing.Packet_buffer.length b);
+  checki "no dead queues retained" 0 (Routing.Packet_buffer.destinations b);
+  Routing.Packet_buffer.push b (msg ~flow:1000 ~src:0 ~dst:7 ());
+  ignore
+    (Engine.at engine (Time.sec 60.) (fun () ->
+         checkb "expired: nothing pending" false
+           (Routing.Packet_buffer.pending b (n 7));
+         checki "expiry releases the table entry" 0
+           (Routing.Packet_buffer.destinations b)));
+  Engine.run engine
+
 (* ---- Discovery schedule -------------------------------------------------- *)
 
 let ring_schedule () =
@@ -207,6 +239,8 @@ let () =
           Alcotest.test_case "timeout" `Quick buffer_timeout;
           Alcotest.test_case "capacity eviction" `Quick buffer_capacity_evicts_oldest;
           Alcotest.test_case "drop_all" `Quick buffer_drop_all;
+          Alcotest.test_case "table stays bounded" `Quick
+            buffer_table_stays_bounded;
         ] );
       ( "discovery",
         [

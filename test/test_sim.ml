@@ -318,6 +318,63 @@ let engine_max_events () =
   Engine.run ~max_events:50 e;
   checki "stopped at budget" 50 (Engine.events_processed e)
 
+let engine_budget_keeps_clock_monotone () =
+  (* Exhausting [max_events] with events still due before the horizon
+     must not fast-forward the clock past them: a resumed run would then
+     observe time moving backwards. *)
+  let e = Engine.create () in
+  let fired = ref [] in
+  for i = 1 to 10 do
+    ignore
+      (Engine.at e (Time.ms (float_of_int i)) (fun () ->
+           fired := Engine.now e :: !fired))
+  done;
+  Engine.run ~until:(Time.ms 20.) ~max_events:5 e;
+  checkb "clock held at last fired event" true
+    (Time.equal (Engine.now e) (Time.ms 5.));
+  (* Resume: the remaining events fire at their own times, monotonically,
+     and only then does idle time fast-forward to the horizon. *)
+  Engine.run ~until:(Time.ms 20.) e;
+  let times = List.rev !fired in
+  checki "all ten fired" 10 (List.length times);
+  let rec monotone last = function
+    | [] -> true
+    | t :: rest -> Time.(t >= last) && monotone t rest
+  in
+  checkb "firing times monotone across resume" true (monotone Time.zero times);
+  checkb "horizon reached after resume" true
+    (Time.equal (Engine.now e) (Time.ms 20.))
+
+let engine_budget_on_empty_queue_still_fast_forwards () =
+  let e = Engine.create () in
+  ignore (Engine.at e (Time.ms 1.) ignore);
+  Engine.run ~until:(Time.ms 10.) ~max_events:5 e;
+  checkb "no pending work: clock reaches horizon" true
+    (Time.equal (Engine.now e) (Time.ms 10.))
+
+let engine_every_rejects_nonpositive_interval () =
+  let e = Engine.create () in
+  Alcotest.check_raises "zero interval"
+    (Invalid_argument "Engine.every: interval must be positive") (fun () ->
+      Engine.every e ~start:Time.zero ~interval:Time.zero ~until:(Time.ms 10.)
+        ignore)
+
+let engine_every_jitter_respects_horizon () =
+  (* Pre-jitter times 0,5,10,15 are all before the 20 ms horizon, but a
+     7 ms jitter would push the last firing to 22 ms: it must be
+     skipped, not fired beyond [until]. *)
+  let e = Engine.create () in
+  let times = ref [] in
+  Engine.every e
+    ~jitter:(fun () -> Time.ms 7.)
+    ~start:Time.zero ~interval:(Time.ms 5.) ~until:(Time.ms 20.) (fun () ->
+      times := Engine.now e :: !times);
+  Engine.run e;
+  checki "three firings" 3 (List.length !times);
+  List.iter
+    (fun t -> checkb "firing before horizon" true Time.(t < Time.ms 20.))
+    !times
+
 let engine_every () =
   let e = Engine.create () in
   let count = ref 0 in
@@ -397,7 +454,15 @@ let () =
           Alcotest.test_case "until horizon" `Quick engine_until_horizon;
           Alcotest.test_case "idle time passes" `Quick engine_idle_time_passes;
           Alcotest.test_case "max events" `Quick engine_max_events;
+          Alcotest.test_case "budget keeps clock monotone" `Quick
+            engine_budget_keeps_clock_monotone;
+          Alcotest.test_case "budget with drained queue fast-forwards" `Quick
+            engine_budget_on_empty_queue_still_fast_forwards;
           Alcotest.test_case "every" `Quick engine_every;
+          Alcotest.test_case "every rejects zero interval" `Quick
+            engine_every_rejects_nonpositive_interval;
+          Alcotest.test_case "every jitter respects horizon" `Quick
+            engine_every_jitter_respects_horizon;
           Alcotest.test_case "cancel" `Quick engine_cancel;
           Alcotest.test_case "determinism" `Quick engine_determinism;
         ] );
