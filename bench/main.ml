@@ -277,18 +277,33 @@ let channel_scenario ~nodes =
   }
 
 (* Runs are deterministic, so repetitions produce identical outcomes;
-   the minimum wall time is the repetition least disturbed by the OS. *)
+   the minimum wall time is the repetition least disturbed by the OS.
+   Allocation counters come from the last repetition — they are as
+   deterministic as the run itself. *)
 let timed_run ?(reps = 3) sc =
   let best = ref infinity in
   let out = ref None in
+  let minor = ref 0. in
+  let promoted = ref 0. in
   for _ = 1 to reps do
+    let p0 = (Gc.quick_stat ()).Gc.promoted_words in
+    let m0 = Gc.minor_words () in
     let t0 = Unix.gettimeofday () in
     let o = Runner.run sc in
     let dt = Unix.gettimeofday () -. t0 in
+    minor := Gc.minor_words () -. m0;
+    promoted := (Gc.quick_stat ()).Gc.promoted_words -. p0;
     if dt < !best then best := dt;
     out := Some o
   done;
-  (!best, Option.get !out)
+  (!best, Option.get !out, !minor, !promoted)
+
+let identical_outcomes (a : Runner.outcome) (b : Runner.outcome) =
+  Stdlib.compare a.Runner.summary b.Runner.summary = 0
+  && a.Runner.events_processed = b.Runner.events_processed
+  && a.Runner.transmissions = b.Runner.transmissions
+  && a.Runner.mac_queue_drops = b.Runner.mac_queue_drops
+  && a.Runner.mac_unicast_failures = b.Runner.mac_unicast_failures
 
 type channel_point = {
   cp_nodes : int;
@@ -297,6 +312,8 @@ type channel_point = {
   cp_identical : bool;
   cp_transmissions : int;
   cp_events : int;
+  cp_minor_words : float;  (* grid run *)
+  cp_promoted_words : float;
 }
 
 let channel_bench_json points =
@@ -304,10 +321,11 @@ let channel_bench_json points =
     Printf.sprintf
       "    { \"nodes\": %d, \"naive_s\": %.4f, \"grid_s\": %.4f, \
        \"speedup\": %.2f, \"identical\": %b, \"transmissions\": %d, \
-       \"events\": %d }"
+       \"events\": %d, \"minor_words\": %.0f, \"promoted_words\": %.0f }"
       p.cp_nodes p.cp_naive_s p.cp_grid_s
       (p.cp_naive_s /. p.cp_grid_s)
-      p.cp_identical p.cp_transmissions p.cp_events
+      p.cp_identical p.cp_transmissions p.cp_events p.cp_minor_words
+      p.cp_promoted_words
   in
   String.concat "\n"
     [
@@ -328,15 +346,9 @@ let channel_scaling ~scale:_ () =
     List.map
       (fun nodes ->
         let sc = channel_scenario ~nodes in
-        let naive_s, on = timed_run (Scenario.with_naive_channel true sc) in
-        let grid_s, og = timed_run sc in
-        let identical =
-          Stdlib.compare on.Runner.summary og.Runner.summary = 0
-          && on.Runner.events_processed = og.Runner.events_processed
-          && on.Runner.transmissions = og.Runner.transmissions
-          && on.Runner.mac_queue_drops = og.Runner.mac_queue_drops
-          && on.Runner.mac_unicast_failures = og.Runner.mac_unicast_failures
-        in
+        let naive_s, on, _, _ = timed_run (Scenario.with_naive_channel true sc) in
+        let grid_s, og, minor, promoted = timed_run sc in
+        let identical = identical_outcomes on og in
         if not identical then
           Printf.printf "  !! %d nodes: grid and naive outcomes DIVERGE\n%!" nodes;
         {
@@ -346,6 +358,8 @@ let channel_scaling ~scale:_ () =
           cp_identical = identical;
           cp_transmissions = og.Runner.transmissions;
           cp_events = og.Runner.events_processed;
+          cp_minor_words = minor;
+          cp_promoted_words = promoted;
         })
       channel_node_counts
   in
@@ -371,6 +385,190 @@ let channel_scaling ~scale:_ () =
   output_string oc "\n";
   close_out oc;
   Printf.printf "  (wrote BENCH_channel.json)\n%!"
+
+(* ---- Engine scaling: binary-heap scheduler vs the calendar queue -------- *)
+
+(* Two measurements per scenario, both over event-for-event identical
+   outcomes:
+
+   - Scheduler replay (the headline): the scenario runs once recording
+     its exact schedule/cancel/pop op sequence ({!Engine.record_trace}),
+     and that trace replays through each scheduler with no-op callbacks.
+     This times the engine hot path alone — schedule, cancel, pop, and
+     the per-event allocation each mode pays — on the real op mix,
+     cancels and all.
+   - Full simulation: the scenario runs end-to-end under each scheduler.
+     Protocol and channel work (identical either way) dominates here, so
+     this ratio mostly bounds how much of the wall clock the scheduler
+     was to begin with.
+
+   The N-sweep reuses the channel-scaling scenarios (grid channel both
+   times, so only the scheduler differs); the last point is the
+   congested Fig-5 shape the tentpole targets. *)
+
+type engine_point = {
+  ep_label : string;
+  ep_nodes : int;
+  ep_replay_heap_s : float;
+  ep_replay_cal_s : float;
+  ep_trace_ops : int;
+  ep_sim_heap_s : float;
+  ep_sim_cal_s : float;
+  ep_identical : bool;
+  ep_events : int;
+  ep_replay_heap_minor_per_ev : float;
+  ep_replay_cal_minor_per_ev : float;
+  ep_sim_heap_minor_per_ev : float;
+  ep_sim_cal_minor_per_ev : float;
+  ep_sim_heap_promoted_per_ev : float;
+  ep_sim_cal_promoted_per_ev : float;
+}
+
+(* Same protocol as [timed_run]: deterministic, min wall time of 3,
+   allocation counters from the last repetition. *)
+let timed_replay ?(reps = 3) ~scheduler trace =
+  let best = ref infinity in
+  let minor = ref 0. in
+  let fired = ref 0 in
+  for _ = 1 to reps do
+    let m0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    let n = Sim.Engine.replay_trace ~scheduler trace in
+    let dt = Unix.gettimeofday () -. t0 in
+    minor := Gc.minor_words () -. m0;
+    if dt < !best then best := dt;
+    fired := n
+  done;
+  (!best, !fired, !minor)
+
+let engine_bench_json points =
+  let point p =
+    Printf.sprintf
+      "    { \"label\": %S, \"nodes\": %d, \"events\": %d, \
+       \"trace_ops\": %d, \"identical\": %b,\n\
+      \      \"replay_heap_s\": %.4f, \"replay_calendar_s\": %.4f, \
+       \"speedup\": %.2f, \"replay_events_per_sec\": %.0f, \
+       \"replay_minor_words_per_event_heap\": %.1f, \
+       \"replay_minor_words_per_event_calendar\": %.1f,\n\
+      \      \"sim_heap_s\": %.4f, \"sim_calendar_s\": %.4f, \
+       \"sim_speedup\": %.2f, \"sim_events_per_sec\": %.0f, \
+       \"sim_minor_words_per_event_heap\": %.1f, \
+       \"sim_minor_words_per_event_calendar\": %.1f, \
+       \"sim_promoted_words_per_event_heap\": %.2f, \
+       \"sim_promoted_words_per_event_calendar\": %.2f }"
+      p.ep_label p.ep_nodes p.ep_events p.ep_trace_ops p.ep_identical
+      p.ep_replay_heap_s p.ep_replay_cal_s
+      (p.ep_replay_heap_s /. p.ep_replay_cal_s)
+      (float_of_int p.ep_events /. p.ep_replay_cal_s)
+      p.ep_replay_heap_minor_per_ev p.ep_replay_cal_minor_per_ev
+      p.ep_sim_heap_s p.ep_sim_cal_s
+      (p.ep_sim_heap_s /. p.ep_sim_cal_s)
+      (float_of_int p.ep_events /. p.ep_sim_cal_s)
+      p.ep_sim_heap_minor_per_ev p.ep_sim_cal_minor_per_ev
+      p.ep_sim_heap_promoted_per_ev p.ep_sim_cal_promoted_per_ev
+  in
+  String.concat "\n"
+    [
+      "{";
+      "  \"benchmark\": \"engine-scaling\",";
+      Printf.sprintf
+        "  \"scenario\": \"LDR random-waypoint, %g s simulated; N-sweep at %g m2/node plus the Fig-5 shape (100 nodes, 30 flows, pause 0)\","
+        channel_duration_s channel_area_per_node;
+      "  \"method\": \"speedup = recorded scheduler-op trace replayed through each scheduler (no-op callbacks); sim_speedup = full simulation wall clock, where protocol+channel work common to both schedulers dominates\",";
+      "  \"points\": [";
+      String.concat ",\n" (List.map point points);
+      "  ]";
+      "}";
+    ]
+
+let engine_scaling ~scale:_ () =
+  heading
+    "Engine scaling: binary-heap vs calendar-queue scheduler (identical outcomes)";
+  let scenarios =
+    List.map
+      (fun nodes -> (Printf.sprintf "%dn" nodes, nodes, channel_scenario ~nodes))
+      channel_node_counts
+    @ [
+        ( "fig5-100n-30f-p0",
+          100,
+          Scenario.paper_100 Scenario.ldr
+          |> Scenario.with_flows 30
+          |> Scenario.with_pause (Time.sec 0.)
+          |> Scenario.with_duration (Time.sec channel_duration_s) );
+      ]
+  in
+  let points =
+    List.map
+      (fun (label, nodes, sc) ->
+        let sim_heap_s, oh, h_minor, h_promoted =
+          timed_run (Scenario.with_heap_scheduler true sc)
+        in
+        let sim_cal_s, oc, c_minor, c_promoted = timed_run sc in
+        let identical = identical_outcomes oh oc in
+        if not identical then
+          Printf.printf "  !! %s: heap and calendar outcomes DIVERGE\n%!" label;
+        let trace = ref None in
+        ignore
+          (Runner.run
+             ~on_engine:(fun e -> trace := Some (Sim.Engine.record_trace e))
+             sc);
+        let trace = Option.get !trace in
+        let rh_s, rh_fired, rh_minor = timed_replay ~scheduler:`Heap trace in
+        let rc_s, rc_fired, rc_minor =
+          timed_replay ~scheduler:`Calendar trace
+        in
+        if
+          rh_fired <> Sim.Engine.Trace.pops trace
+          || rc_fired <> Sim.Engine.Trace.pops trace
+        then
+          Printf.printf "  !! %s: replay fired-event counts DIVERGE\n%!" label;
+        let ev = float_of_int oc.Runner.events_processed in
+        let pops = float_of_int (Sim.Engine.Trace.pops trace) in
+        {
+          ep_label = label;
+          ep_nodes = nodes;
+          ep_replay_heap_s = rh_s;
+          ep_replay_cal_s = rc_s;
+          ep_trace_ops = Sim.Engine.Trace.length trace;
+          ep_sim_heap_s = sim_heap_s;
+          ep_sim_cal_s = sim_cal_s;
+          ep_identical = identical;
+          ep_events = oc.Runner.events_processed;
+          ep_replay_heap_minor_per_ev = rh_minor /. pops;
+          ep_replay_cal_minor_per_ev = rc_minor /. pops;
+          ep_sim_heap_minor_per_ev = h_minor /. ev;
+          ep_sim_cal_minor_per_ev = c_minor /. ev;
+          ep_sim_heap_promoted_per_ev = h_promoted /. ev;
+          ep_sim_cal_promoted_per_ev = c_promoted /. ev;
+        })
+      scenarios
+  in
+  let rows =
+    List.map
+      (fun p ->
+        [
+          p.ep_label;
+          Printf.sprintf "%.3f" p.ep_replay_heap_s;
+          Printf.sprintf "%.3f" p.ep_replay_cal_s;
+          Printf.sprintf "%.2fx" (p.ep_replay_heap_s /. p.ep_replay_cal_s);
+          Printf.sprintf "%.2fx" (p.ep_sim_heap_s /. p.ep_sim_cal_s);
+          (if p.ep_identical then "yes" else "NO");
+          Printf.sprintf "%.1f" p.ep_replay_heap_minor_per_ev;
+          Printf.sprintf "%.1f" p.ep_replay_cal_minor_per_ev;
+        ])
+      points
+  in
+  print_endline
+    (Stats.Table.render
+       ~header:
+         [ "scenario"; "replay heap s"; "replay cal s"; "speedup";
+           "sim speedup"; "identical"; "minW/ev heap"; "minW/ev cal" ]
+       rows);
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc (engine_bench_json points);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  (wrote BENCH_engine.json)\n%!"
 
 (* ---- Bechamel microbenchmarks: one Test.make per table/figure kernel ---- *)
 
@@ -436,6 +634,7 @@ let all_experiments =
     ("fig7", fig7);
     ("ablation", ablation);
     ("channel", channel_scaling);
+    ("engine", engine_scaling);
   ]
 
 let () =
@@ -462,7 +661,7 @@ let () =
           selected := !selected @ [ name ]
       | other ->
           Printf.eprintf
-            "unknown argument %S (expected: table1 fig2..fig7 ablation channel bechamel all --full --quick --csv=DIR)\n"
+            "unknown argument %S (expected: table1 fig2..fig7 ablation channel engine bechamel all --full --quick --csv=DIR)\n"
             other;
           exit 2)
     args;

@@ -108,6 +108,7 @@ let scenario protocol nodes width height flows pps pause speed_max duration seed
     seed;
     audit_loops = audit;
     naive_channel = false;
+    heap_scheduler = false;
   }
 
 let print_outcome (o : Runner.outcome) =

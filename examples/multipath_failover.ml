@@ -29,6 +29,7 @@ let scenario protocol seed =
     seed;
     audit_loops = true;
     naive_channel = false;
+    heap_scheduler = false;
   }
 
 let run name protocol =

@@ -29,6 +29,7 @@ let scenario protocol =
     seed = 11;
     audit_loops = false;
     naive_channel = false;
+    heap_scheduler = false;
   }
 
 let () =

@@ -33,6 +33,7 @@ let () =
       seed = 7;
       audit_loops = true;
       naive_channel = false;
+      heap_scheduler = false;
     }
   in
   let outcome = Runner.run scenario in

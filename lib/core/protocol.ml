@@ -162,7 +162,7 @@ and finish_discovery t dst =
   (match Node_id.Table.find_opt t.pending dst with
   | Some pend -> (
       match pend.p_timer with
-      | Some h -> Engine.cancel h
+      | Some h -> Engine.cancel t.ctx.engine h
       | None -> ())
   | None -> ());
   Node_id.Table.remove t.pending dst;

@@ -117,7 +117,7 @@ and attempt_expired t dst pend =
 and finish_discovery t dst =
   (match Node_id.Table.find_opt t.pending dst with
   | Some pend -> (
-      match pend.p_timer with Some h -> Engine.cancel h | None -> ())
+      match pend.p_timer with Some h -> Engine.cancel t.ctx.engine h | None -> ())
   | None -> ());
   Node_id.Table.remove t.pending dst;
   flush_buffer t dst

@@ -48,8 +48,16 @@ let audit_from agents metrics n num_nodes =
     end
   done
 
-let build (sc : Scenario.t) =
-  let engine = Engine.create ~seed:sc.seed () in
+let build ?on_engine (sc : Scenario.t) =
+  let engine =
+    Engine.create ~seed:sc.seed
+      ~scheduler:(if sc.heap_scheduler then `Heap else `Calendar)
+      ()
+  in
+  (* Instrumentation hook (e.g. [Engine.record_trace] in the engine
+     benchmark), called before anything is scheduled so setup-time
+     events are captured too. *)
+  (match on_engine with Some f -> f engine | None -> ());
   let root = Engine.rng engine in
   let placement_rng = Rng.split root in
   let mobility_rng = Rng.split root in
@@ -168,8 +176,8 @@ let build (sc : Scenario.t) =
     finalize;
   }
 
-let run (sc : Scenario.t) =
-  let sim = build sc in
+let run ?on_engine (sc : Scenario.t) =
+  let sim = build ?on_engine sc in
   (* Let in-flight packets (and their latency) resolve briefly after the
      last origination. *)
   let drain = Time.sec 2. in

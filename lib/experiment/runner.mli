@@ -12,7 +12,7 @@ type outcome = {
   transmissions : int;  (** every frame on the air, ACKs included *)
 }
 
-val run : Scenario.t -> outcome
+val run : ?on_engine:(Sim.Engine.t -> unit) -> Scenario.t -> outcome
 
 (** A handle over a built-but-not-yet-run simulation, for tests and
     examples that need to inspect or intervene mid-run. *)
@@ -27,6 +27,6 @@ type sim = {
   finalize : unit -> unit;  (** collect end-of-run gauges *)
 }
 
-val build : Scenario.t -> sim
+val build : ?on_engine:(Sim.Engine.t -> unit) -> Scenario.t -> sim
 (** Construct the simulation with its workload scheduled; the caller runs
     the engine. *)

@@ -42,6 +42,7 @@ type t = {
   seed : int;
   audit_loops : bool;
   naive_channel : bool;
+  heap_scheduler : bool;
 }
 
 let paper_50 protocol =
@@ -60,6 +61,7 @@ let paper_50 protocol =
     seed = 1;
     audit_loops = false;
     naive_channel = false;
+    heap_scheduler = false;
   }
 
 let paper_100 protocol =
@@ -97,4 +99,5 @@ let with_pause pause t = { t with pause }
 let with_duration duration t = { t with duration }
 let with_seed seed t = { t with seed }
 let with_naive_channel naive_channel t = { t with naive_channel }
+let with_heap_scheduler heap_scheduler t = { t with heap_scheduler }
 let scaled ~duration t = { t with duration }

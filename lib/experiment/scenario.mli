@@ -49,6 +49,11 @@ type t = {
       (** use the O(nodes)-per-transmission linear-scan channel instead
           of the spatial grid — differential tests and the scaling
           benchmark only; outcomes are byte-identical either way *)
+  heap_scheduler : bool;
+      (** drive the engine with the reference binary-heap event queue
+          instead of the calendar queue — differential tests and the
+          engine benchmark only; outcomes are event-for-event
+          identical either way *)
 }
 
 val paper_50 : protocol -> t
@@ -65,5 +70,6 @@ val with_pause : Sim.Time.t -> t -> t
 val with_duration : Sim.Time.t -> t -> t
 val with_seed : int -> t -> t
 val with_naive_channel : bool -> t -> t
+val with_heap_scheduler : bool -> t -> t
 val scaled : duration:Sim.Time.t -> t -> t
 (** Shorten a paper scenario for laptop-scale reproduction. *)

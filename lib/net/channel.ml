@@ -1,13 +1,21 @@
 open Sim
 open Packets
 
+(* Per-receiver reception state.  Records are pooled inside [tx_job]s
+   and reused across transmissions — every field is mutable and reset
+   on reuse, so the steady-state delivery path allocates nothing. *)
 type rx = {
-  rx_frame : Frame.t;
-  tx_dist : float;  (** receiver-to-transmitter distance, for capture *)
+  mutable rx_frame : Frame.t;
+  mutable tx_dist : float;
+      (** receiver-to-transmitter distance, for capture (transiently
+          holds the squared distance between candidate collection and
+          the delivery pass) *)
   mutable corrupted : bool;
+  mutable locked : bool;  (** this arrival captured the receiver *)
+  mutable rx_radio : radio;
 }
 
-type radio = {
+and radio = {
   id : Node_id.t;
   seq : int;  (** attach order; fixes query ordering across index modes *)
   position : unit -> Geom.Vec2.t;
@@ -15,8 +23,46 @@ type radio = {
   mutable medium : bool -> unit;
   mutable busy_count : int;  (** in-range transmissions currently in the air *)
   mutable tx_count : int;  (** own transmissions in the air (0 or 1) *)
-  mutable current_rx : rx option;
+  mutable current_rx : rx;  (** == [no_rx] when not locked to a frame *)
 }
+
+let dummy_frame =
+  { Frame.src = Node_id.of_int 0; dst = Frame.Broadcast; body = Frame.Ack }
+
+let dummy_pos = Geom.Vec2.v 0. 0.
+
+(* Sentinels, compared physically.  [no_rx]/[dummy_radio] are mutually
+   recursive so an idle radio and a free rx slot can point at them
+   instead of carrying options. *)
+let rec no_rx =
+  {
+    rx_frame = dummy_frame;
+    tx_dist = 0.;
+    corrupted = true;
+    locked = false;
+    rx_radio = dummy_radio;
+  }
+
+and dummy_radio =
+  {
+    id = Node_id.of_int 0;
+    seq = -1;
+    position = (fun () -> dummy_pos);
+    receive = ignore;
+    medium = ignore;
+    busy_count = 0;
+    tx_count = 0;
+    current_rx = no_rx;
+  }
+
+let new_rx () =
+  {
+    rx_frame = dummy_frame;
+    tx_dist = 0.;
+    corrupted = false;
+    locked = false;
+    rx_radio = dummy_radio;
+  }
 
 type mode = Naive | Grid
 
@@ -26,7 +72,19 @@ type mode = Naive | Grid
    larger ones scan more cells. *)
 let slack_margin_m = 25.
 
-type t = {
+(* One in-flight transmission: the source plus the touched radios'
+   reception records, alive from [transmit] to its end-of-transmission
+   event.  Jobs are pooled on a free stack; the job itself is the
+   argument of the closure-free end-of-tx event, so a transmission
+   schedules without allocating. *)
+type tx_job = {
+  mutable job_src : radio;
+  mutable job_rxs : rx array;
+  mutable job_n : int;
+  job_owner : t;
+}
+
+and t = {
   engine : Engine.t;
   params : Params.t;
   mode : mode;
@@ -42,6 +100,8 @@ type t = {
   mutable grid_fresh : bool;
   mutable hook : Node_id.t -> Frame.t -> unit;
   mutable tx_total : int;
+  mutable job_pool : tx_job array;
+  mutable job_free : int;  (* jobs [0, job_free) are free *)
 }
 
 let create ~engine ?(mode = Grid) ?max_speed ~params () =
@@ -63,6 +123,8 @@ let create ~engine ?(mode = Grid) ?max_speed ~params () =
     grid_fresh = false;
     hook = (fun _ _ -> ());
     tx_total = 0;
+    job_pool = [||];
+    job_free = 0;
   }
 
 let params t = t.params
@@ -78,7 +140,7 @@ let attach t ~id ~position =
       medium = ignore;
       busy_count = 0;
       tx_count = 0;
-      current_rx = None;
+      current_rx = no_rx;
     }
   in
   t.next_seq <- t.next_seq + 1;
@@ -94,6 +156,57 @@ let transmitting r = r.tx_count > 0
 let carrier_busy r = r.busy_count > 0 || r.tx_count > 0
 
 let busy _t r = carrier_busy r
+
+(* ---- Transmission-job pool --------------------------------------------- *)
+
+let new_job owner =
+  {
+    job_src = dummy_radio;
+    job_rxs = Array.init 8 (fun _ -> new_rx ());
+    job_n = 0;
+    job_owner = owner;
+  }
+
+let alloc_job t =
+  if t.job_free = 0 then begin
+    let extra = Stdlib.max 4 (Array.length t.job_pool) in
+    t.job_pool <-
+      Array.append (Array.init extra (fun _ -> new_job t)) t.job_pool;
+    t.job_free <- extra
+  end;
+  t.job_free <- t.job_free - 1;
+  let job = t.job_pool.(t.job_free) in
+  job.job_n <- 0;
+  job
+
+let free_job t job =
+  t.job_pool.(t.job_free) <- job;
+  t.job_free <- t.job_free + 1
+
+(* Append a touched radio, keeping entries sorted by attach seq
+   descending — the set and order a naive scan of [t.radios] (newest
+   first) produces, so grid and naive modes stay byte-identical.  The
+   naive path appends in already-descending order (zero shifts); grid
+   candidates arrive in cell order and insertion-sort into place, a
+   handful of pointer rotations for the few radios a disk holds. *)
+let job_add job r d2 =
+  let n = job.job_n in
+  if n = Array.length job.job_rxs then
+    job.job_rxs <-
+      Array.append job.job_rxs (Array.init (Stdlib.max 8 n) (fun _ -> new_rx ()));
+  let rxs = job.job_rxs in
+  let i = ref n in
+  while !i > 0 && rxs.(!i - 1).rx_radio.seq < r.seq do decr i done;
+  let spare = rxs.(n) in
+  for k = n downto !i + 1 do
+    rxs.(k) <- rxs.(k - 1)
+  done;
+  rxs.(!i) <- spare;
+  spare.rx_radio <- r;
+  spare.tx_dist <- d2;
+  spare.corrupted <- false;
+  spare.locked <- false;
+  job.job_n <- n + 1
 
 (* ---- Spatial index ----------------------------------------------------- *)
 
@@ -129,19 +242,12 @@ let refresh t =
       else b
 
 (* Grid queries visit each candidate exactly once, applying the exact
-   range predicate against live positions and inserting survivors into a
-   list ordered by attach sequence, newest first — the exact set and
-   order a naive scan of [t.radios] produces.  The query disk is
-   inflated by the drift bound, so the candidate superset always covers
-   the true disk population; per-seed determinism therefore does not
-   depend on the index.  Survivor lists are a handful of radios, so
-   ordered insertion beats a post-hoc [List.sort]. *)
-let rec ins_pair ((x, _) as p) l =
-  match l with
-  | [] -> [ p ]
-  | (((y, _) as q) :: tl) as full ->
-      if x.seq > y.seq then p :: full else q :: ins_pair p tl
-
+   range predicate against live positions; survivors are ordered by
+   attach sequence, newest first — the exact set and order a naive scan
+   of [t.radios] produces.  The query disk is inflated by the drift
+   bound, so the candidate superset always covers the true disk
+   population; per-seed determinism therefore does not depend on the
+   index. *)
 let rec ins_radio x l =
   match l with
   | [] -> [ x ]
@@ -179,6 +285,32 @@ let mark_idle r =
   assert (r.busy_count >= 0);
   if not (carrier_busy r) then r.medium false
 
+(* End of transmission: release the medium, deliver surviving locked
+   frames, and recycle the job.  Clearing each rx's frame and radio
+   drops the job's references into live simulation state between
+   transmissions. *)
+let end_of_tx job =
+  let t = job.job_owner in
+  let src = job.job_src in
+  src.tx_count <- src.tx_count - 1;
+  if not (carrier_busy src) then src.medium false;
+  for k = 0 to job.job_n - 1 do
+    let rx = job.job_rxs.(k) in
+    let r = rx.rx_radio in
+    mark_idle r;
+    if rx.locked then begin
+      (* Only clear the lock if it is still ours (a corrupting overlap
+         never replaces the lock, so it is). *)
+      if r.current_rx == rx then r.current_rx <- no_rx;
+      (* Starting to transmit mid-reception also kills it. *)
+      if (not rx.corrupted) && r.tx_count = 0 then r.receive rx.rx_frame
+    end;
+    rx.rx_frame <- dummy_frame;
+    rx.rx_radio <- dummy_radio
+  done;
+  job.job_src <- dummy_radio;
+  free_job t job
+
 let transmit t src frame ~duration =
   t.tx_total <- t.tx_total + 1;
   t.hook src.id frame;
@@ -189,81 +321,63 @@ let transmit t src frame ~duration =
   let src_pos = src.position () in
   let cs2 = t.params.cs_range_m *. t.params.cs_range_m in
   let rng2 = t.params.range_m *. t.params.range_m in
-  (* One distance computation per candidate; [sqrt d2] below equals
-     [Vec2.dist] bit-for-bit, so caching it cannot change outcomes. *)
-  let touched =
-    match t.mode with
-    | Naive ->
-        List.filter_map
-          (fun r ->
-            if r == src then None
-            else
-              let d2 = Geom.Vec2.dist2 src_pos (r.position ()) in
-              if d2 <= cs2 then Some (r, d2) else None)
-          t.radios
-    | Grid ->
-        let radius = t.params.cs_range_m +. refresh t in
-        let acc = ref [] in
-        Geom.Grid.iter_disk t.grid ~center:src_pos ~radius (fun r ->
-            if r != src then begin
-              let d2 = Geom.Vec2.dist2 src_pos (r.position ()) in
-              if d2 <= cs2 then acc := ins_pair (r, d2) !acc
-            end);
-        !acc
-  in
+  let job = alloc_job t in
+  job.job_src <- src;
+  (* One distance computation per candidate, stashed squared in
+     [tx_dist]; the delivery pass replaces it with [sqrt d2], which
+     equals [Vec2.dist] bit-for-bit, so caching cannot change
+     outcomes. *)
+  (match t.mode with
+  | Naive ->
+      List.iter
+        (fun r ->
+          if r != src then begin
+            let d2 = Geom.Vec2.dist2 src_pos (r.position ()) in
+            if d2 <= cs2 then job_add job r d2
+          end)
+        t.radios
+  | Grid ->
+      let radius = t.params.cs_range_m +. refresh t in
+      Geom.Grid.iter_disk t.grid ~center:src_pos ~radius (fun r ->
+          if r != src then begin
+            let d2 = Geom.Vec2.dist2 src_pos (r.position ()) in
+            if d2 <= cs2 then job_add job r d2
+          end));
   let was_busy_src = carrier_busy src in
   src.tx_count <- src.tx_count + 1;
   if not was_busy_src then src.medium true;
-  let deliveries =
-    List.map
-      (fun (r, d2) ->
-        mark_busy r;
-        let dist = sqrt d2 in
-        let decodable = d2 <= rng2 in
-        let lock () =
-          let rx = { rx_frame = frame; tx_dist = dist; corrupted = false } in
-          r.current_rx <- Some rx;
-          (r, Some rx)
-        in
-        (* A radio that is transmitting decodes nothing.  An overlap is
-           resolved by the capture effect: the markedly closer (stronger)
-           transmitter wins; comparable powers corrupt both frames. *)
-        if r.tx_count > 0 then (r, None)
-        else
-          match r.current_rx with
-          | Some rx ->
-              let ratio = t.params.capture_distance_ratio in
-              if dist >= ratio *. rx.tx_dist then
-                (* New arrival too weak to disturb the locked frame. *)
-                (r, None)
-              else if rx.tx_dist >= ratio *. dist && decodable then begin
-                (* New arrival captures the receiver. *)
-                rx.corrupted <- true;
-                lock ()
-              end
-              else begin
-                rx.corrupted <- true;
-                (r, None)
-              end
-          | None -> if decodable then lock () else (r, None))
-      touched
-  in
-  ignore
-    (Engine.after t.engine duration (fun () ->
-         src.tx_count <- src.tx_count - 1;
-         if not (carrier_busy src) then src.medium false;
-         List.iter
-           (fun (r, rx_opt) ->
-             mark_idle r;
-             match rx_opt with
-             | None -> ()
-             | Some rx ->
-                 (* Only clear the lock if it is still ours (a corrupting
-                    overlap never replaces the lock, so it is). *)
-                 (match r.current_rx with
-                 | Some cur when cur == rx -> r.current_rx <- None
-                 | Some _ | None -> ());
-                 (* Starting to transmit mid-reception also kills it. *)
-                 if (not rx.corrupted) && r.tx_count = 0 then
-                   r.receive rx.rx_frame)
-           deliveries))
+  let ratio = t.params.capture_distance_ratio in
+  for k = 0 to job.job_n - 1 do
+    let rx = job.job_rxs.(k) in
+    let r = rx.rx_radio in
+    mark_busy r;
+    let d2 = rx.tx_dist in
+    let dist = sqrt d2 in
+    rx.tx_dist <- dist;
+    rx.rx_frame <- frame;
+    let decodable = d2 <= rng2 in
+    (* A radio that is transmitting decodes nothing.  An overlap is
+       resolved by the capture effect: the markedly closer (stronger)
+       transmitter wins; comparable powers corrupt both frames. *)
+    if r.tx_count > 0 then ()
+    else begin
+      let cur = r.current_rx in
+      if cur != no_rx then begin
+        if dist >= ratio *. cur.tx_dist then
+          (* New arrival too weak to disturb the locked frame. *)
+          ()
+        else if cur.tx_dist >= ratio *. dist && decodable then begin
+          (* New arrival captures the receiver. *)
+          cur.corrupted <- true;
+          rx.locked <- true;
+          r.current_rx <- rx
+        end
+        else cur.corrupted <- true
+      end
+      else if decodable then begin
+        rx.locked <- true;
+        r.current_rx <- rx
+      end
+    end
+  done;
+  ignore (Engine.after_fn t.engine duration end_of_tx job)

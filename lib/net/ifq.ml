@@ -1,20 +1,42 @@
-type 'a t = { q : 'a Queue.t; capacity : int; mutable drops : int }
+(* Fixed-capacity ring buffer.  The backing array is allocated lazily at
+   the first push (sized by the first element, so no dummy value is
+   needed) and never grows — the capacity is the drop-tail bound.  A
+   popped slot keeps its element until the ring wraps over it; at most
+   [capacity] stale references is an accepted bound, traded for a
+   Queue-free, allocation-free steady state. *)
+type 'a t = {
+  mutable buf : 'a array;  (* [||] until the first push *)
+  capacity : int;
+  mutable head : int;  (* index of the front element *)
+  mutable len : int;
+  mutable drops : int;
+}
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Ifq.create: non-positive capacity";
-  { q = Queue.create (); capacity; drops = 0 }
+  { buf = [||]; capacity; head = 0; len = 0; drops = 0 }
 
 let push t x =
-  if Queue.length t.q >= t.capacity then begin
+  if t.len >= t.capacity then begin
     t.drops <- t.drops + 1;
     false
   end
   else begin
-    Queue.push x t.q;
+    if Array.length t.buf = 0 then t.buf <- Array.make t.capacity x;
+    t.buf.((t.head + t.len) mod t.capacity) <- x;
+    t.len <- t.len + 1;
     true
   end
 
-let pop t = Queue.take_opt t.q
-let length t = Queue.length t.q
-let is_empty t = Queue.is_empty t.q
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let x = t.buf.(t.head) in
+    t.head <- (t.head + 1) mod t.capacity;
+    t.len <- t.len - 1;
+    Some x
+  end
+
+let length t = t.len
+let is_empty t = t.len = 0
 let drops t = t.drops

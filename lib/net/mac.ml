@@ -15,6 +15,10 @@ type phase =
   | Sending
   | Await_ack
 
+(* Timer fields hold [Engine.none] when unarmed, and every timer
+   callback is a pre-bound top-level function over [t] scheduled with
+   [Engine.after_fn] — the hot path (one access timer and one ACK
+   timer per data frame) allocates neither an option nor a closure. *)
 type t = {
   engine : Engine.t;
   channel : Channel.t;
@@ -29,9 +33,14 @@ type t = {
   mutable attempts : int;
   mutable cw : int;
   mutable slots : int;  (** backoff slots still to count down *)
-  mutable access_timer : Engine.handle option;
+  mutable access_timer : Engine.handle;
   mutable access_started : Time.t;
-  mutable ack_timer : Engine.handle option;
+  mutable ack_timer : Engine.handle;
+  mutable ack_to : Node_id.t;
+      (** destination of the pending SIFS-delayed ACK; at most one can
+          be outstanding (SIFS is far shorter than any frame airtime,
+          and the capture logic delivers one frame per radio per
+          instant) *)
   mutable failures : int;
   mutable sent : int;
 }
@@ -67,20 +76,21 @@ and begin_access t =
 
 (* Arm the DIFS+backoff countdown if the medium is idle. *)
 and maybe_arm t =
-  if t.phase = Access && t.access_timer = None
+  if t.phase = Access
+     && Engine.is_none t.access_timer
      && not (Channel.busy t.channel t.radio)
   then begin
     let wait = Time.add t.params.difs (Time.mul t.params.slot t.slots) in
     t.access_started <- Engine.now t.engine;
-    t.access_timer <-
-      Some
-        (Engine.after t.engine wait (fun () ->
-             t.access_timer <- None;
-             if Channel.busy t.channel t.radio then ()
-               (* Lost the race with a same-instant transmission; the
-                  medium_changed(false) callback will re-arm us. *)
-             else do_transmit t))
+    t.access_timer <- Engine.after_fn t.engine wait access_expired t
   end
+
+and access_expired t =
+  t.access_timer <- Engine.none;
+  if Channel.busy t.channel t.radio then ()
+    (* Lost the race with a same-instant transmission; the
+       medium_changed(false) callback will re-arm us. *)
+  else do_transmit t
 
 and do_transmit t =
   match t.current with
@@ -90,18 +100,28 @@ and do_transmit t =
       t.sent <- t.sent + 1;
       let duration = frame_duration t p in
       Channel.transmit t.channel t.radio (payload_frame t p) ~duration;
-      ignore (Engine.after t.engine duration (fun () -> tx_done t p))
+      ignore (Engine.after_fn t.engine duration tx_done t)
 
-and tx_done t p =
-  match p.dst with
-  | Frame.Broadcast -> finish t
-  | Frame.Unicast next_hop ->
-      t.phase <- Await_ack;
-      t.ack_timer <-
-        Some
-          (Engine.after t.engine (Params.ack_timeout t.params) (fun () ->
-               t.ack_timer <- None;
-               retry t p next_hop))
+(* [t.current] is pinned while Sending/Await_ack — only [finish] and
+   [retry]'s failure arm clear it — so reading it when the timer fires
+   sees the frame that was in the air. *)
+and tx_done t =
+  match t.current with
+  | None -> assert false
+  | Some p -> (
+      match p.dst with
+      | Frame.Broadcast -> finish t
+      | Frame.Unicast _ ->
+          t.phase <- Await_ack;
+          t.ack_timer <-
+            Engine.after_fn t.engine (Params.ack_timeout t.params)
+              ack_timeout_expired t)
+
+and ack_timeout_expired t =
+  t.ack_timer <- Engine.none;
+  match t.current with
+  | Some ({ dst = Frame.Unicast next_hop; _ } as p) -> retry t p next_hop
+  | Some { dst = Frame.Broadcast; _ } | None -> assert false
 
 and finish t =
   t.current <- None;
@@ -129,23 +149,24 @@ let ack_received t from =
   match (t.phase, t.current) with
   | Await_ack, Some { dst = Frame.Unicast nh; _ } when Node_id.equal nh from
     ->
-      (match t.ack_timer with
-      | Some h ->
-          Engine.cancel h;
-          t.ack_timer <- None
-      | None -> ());
+      if not (Engine.is_none t.ack_timer) then begin
+        Engine.cancel t.engine t.ack_timer;
+        t.ack_timer <- Engine.none
+      end;
       finish t
   | _ -> ()
+
+let send_ack_fire t =
+  if not (Channel.transmitting t.radio) then
+    Channel.transmit t.channel t.radio
+      { Frame.src = t.my_id; dst = Frame.Unicast t.ack_to; body = Frame.Ack }
+      ~duration:(Params.ack_airtime t.params)
 
 let send_ack t ~to_ =
   (* ACKs answer after SIFS regardless of carrier sense (802.11), but a
      radio cannot transmit two frames at once. *)
-  ignore
-    (Engine.after t.engine t.params.sifs (fun () ->
-         if not (Channel.transmitting t.radio) then
-           Channel.transmit t.channel t.radio
-             { Frame.src = t.my_id; dst = Frame.Unicast to_; body = Frame.Ack }
-             ~duration:(Params.ack_airtime t.params)))
+  t.ack_to <- to_;
+  ignore (Engine.after_fn t.engine t.params.sifs send_ack_fire t)
 
 let on_frame t (f : Frame.t) =
   match f.body with
@@ -160,24 +181,21 @@ let on_frame t (f : Frame.t) =
 
 let on_medium t busy =
   if busy then begin
-    if t.phase = Access then
-      match t.access_timer with
-      | None -> ()
-      | Some h ->
-          Engine.cancel h;
-          t.access_timer <- None;
-          (* Slots consumed while the medium was idle. *)
-          let elapsed = Time.diff (Engine.now t.engine) t.access_started in
-          let after_difs =
-            if Time.(elapsed > t.params.difs) then
-              Time.diff elapsed t.params.difs
-            else Time.zero
-          in
-          let consumed =
-            Int64.to_int
-              (Int64.div (Time.to_ns after_difs) (Time.to_ns t.params.slot))
-          in
-          t.slots <- Stdlib.max 0 (t.slots - consumed)
+    if t.phase = Access && not (Engine.is_none t.access_timer) then begin
+      Engine.cancel t.engine t.access_timer;
+      t.access_timer <- Engine.none;
+      (* Slots consumed while the medium was idle. *)
+      let elapsed = Time.diff (Engine.now t.engine) t.access_started in
+      let after_difs =
+        if Time.(elapsed > t.params.difs) then Time.diff elapsed t.params.difs
+        else Time.zero
+      in
+      let consumed =
+        Int64.to_int
+          (Int64.div (Time.to_ns after_difs) (Time.to_ns t.params.slot))
+      in
+      t.slots <- Stdlib.max 0 (t.slots - consumed)
+    end
   end
   else maybe_arm t
 
@@ -198,9 +216,10 @@ let create ~engine ~channel ~rng ~id ~position callbacks =
       attempts = 0;
       cw = (Channel.params channel).cw_min;
       slots = 0;
-      access_timer = None;
+      access_timer = Engine.none;
       access_started = Time.zero;
-      ack_timer = None;
+      ack_timer = Engine.none;
+      ack_to = id;
       failures = 0;
       sent = 0;
     }

@@ -1,14 +1,35 @@
 (** Discrete-event simulation driver.
 
-    Owns the virtual clock and the event queue.  All simulated activity —
-    packet transmissions, protocol timers, mobility waypoints, traffic
-    sources — is expressed as events scheduled on one engine. *)
+    Owns the virtual clock and the pending-event set.  All simulated
+    activity — packet transmissions, protocol timers, mobility
+    waypoints, traffic sources — is expressed as events scheduled on
+    one engine.
+
+    Two interchangeable schedulers back the event set: the default
+    {!Calendar_queue} (O(1) schedule/cancel, pooled zero-allocation
+    slots) and the reference {!Event_queue} binary heap.  Outcomes are
+    event-for-event identical; the differential tests rely on it. *)
 
 type t
 
-type handle = Event_queue.handle
+type scheduler = [ `Heap | `Calendar ]
 
-val create : ?seed:int -> unit -> t
+type handle
+(** Identifies a scheduled event so it can be cancelled.  Calendar
+    handles are immediate ints; heap handles are records — both hide
+    behind one abstract type so call sites are scheduler-agnostic. *)
+
+val none : handle
+(** A handle that never names a live event — the "no timer pending"
+    value for handle-typed fields.  [cancel t none] is a no-op. *)
+
+val is_none : handle -> bool
+
+val create : ?seed:int -> ?scheduler:scheduler -> unit -> t
+(** [scheduler] defaults to [`Calendar]; [`Heap] keeps the binary-heap
+    reference path for differential testing and benchmarking. *)
+
+val scheduler : t -> scheduler
 
 val now : t -> Time.t
 (** Current virtual time. *)
@@ -24,7 +45,21 @@ val at : t -> Time.t -> (unit -> unit) -> handle
 val after : t -> Time.t -> (unit -> unit) -> handle
 (** [after t d f] schedules [f] at [now t + d]. *)
 
-val cancel : handle -> unit
+val at_fn : t -> Time.t -> ('a -> unit) -> 'a -> handle
+(** [at_fn t time fn arg] schedules [fn arg] at [time].  With the
+    calendar scheduler the pair is stored in the pooled event slot —
+    nothing is allocated, unlike [at], whose callback closure is a
+    fresh heap block.  Meant for high-frequency event classes whose
+    callback is a pre-bound top-level function over a long-lived state
+    record. *)
+
+val after_fn : t -> Time.t -> ('a -> unit) -> 'a -> handle
+(** [after_fn t d fn arg] is [at_fn] at [now t + d]. *)
+
+val cancel : t -> handle -> unit
+(** Cancelling an already-fired or already-cancelled event (or {!none})
+    is a no-op.  Under the calendar scheduler the event's slot is freed
+    immediately, not at pop time. *)
 
 val every : t -> ?jitter:(unit -> Time.t) -> start:Time.t -> interval:Time.t
   -> until:Time.t -> (unit -> unit) -> unit
@@ -49,3 +84,29 @@ val step : t -> bool
 (** Fire the single earliest event.  Returns false when idle. *)
 
 val events_processed : t -> int
+
+(** Recorded scheduler workloads, for the engine benchmark: the exact
+    schedule/cancel/pop op sequence of a run, replayable through either
+    scheduler with no-op callbacks.  This isolates the engine hot path
+    — a full simulation spends most of its time in protocol and channel
+    code that is identical under both schedulers. *)
+module Trace : sig
+  type t
+
+  val length : t -> int
+  (** Total recorded ops (schedules + cancels + pops). *)
+
+  val pops : t -> int
+  (** Recorded pops — the run's fired-event count while recording. *)
+end
+
+val record_trace : t -> Trace.t
+(** Start recording this engine's scheduler ops.  The engine must use
+    the calendar scheduler (its int handles are what the recorder maps
+    back to schedule ops); raises [Invalid_argument] on a heap engine. *)
+
+val replay_trace : scheduler:scheduler -> Trace.t -> int
+(** Drive a fresh engine of the given mode through the recorded op
+    sequence (schedules via the same [at]/[at_fn] split the original
+    run used) and return the number of events fired.  Deterministic;
+    both modes fire exactly {!Trace.pops} events. *)

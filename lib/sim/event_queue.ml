@@ -114,12 +114,26 @@ let schedule t time action =
 let cancel h = h.cancelled <- true
 let is_cancelled h = h.cancelled
 
+(* Shrink when occupancy falls below a quarter of capacity, so a burst
+   scenario does not pin its peak heap for the rest of the run.  The
+   quarter threshold (vs the halving grow) leaves hysteresis; the floor
+   matches the initial capacity. *)
+let maybe_shrink t =
+  let cap = Array.length t.heap in
+  if cap > 64 && t.size < cap / 4 then begin
+    let cap' = cap / 2 in
+    t.heap <- Array.sub t.heap 0 cap';
+    t.times <- Array.sub t.times 0 cap';
+    t.seqs <- Array.sub t.seqs 0 cap'
+  end
+
 let remove_top t =
   let last = t.size - 1 in
   t.size <- last;
   let h = t.heap.(last) in
   t.heap.(last) <- dummy;
-  if last > 0 then sift_down t h t.times.(last) t.seqs.(last)
+  if last > 0 then sift_down t h t.times.(last) t.seqs.(last);
+  maybe_shrink t
 
 (* Discard cancelled events sitting at the top of the heap. *)
 let rec settle t =
@@ -166,3 +180,5 @@ let live_count t =
     if not t.heap.(i).cancelled then incr n
   done;
   !n
+
+let capacity t = Array.length t.heap

@@ -36,3 +36,8 @@ val is_empty : t -> bool
 
 val live_count : t -> int
 (** Number of scheduled, not-yet-fired, not-cancelled events.  O(n). *)
+
+val capacity : t -> int
+(** Current backing-array size.  The heap grows by doubling and shrinks
+    by halving once occupancy falls below a quarter (floor 64), so a
+    burst does not pin peak memory for the rest of the run. *)

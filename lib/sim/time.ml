@@ -14,6 +14,7 @@ let us x = of_float_ns (x *. 1e3)
 let ms x = of_float_ns (x *. 1e6)
 let sec x = of_float_ns (x *. 1e9)
 
+let unsafe_of_ns n = n
 let to_ns t = Int64.of_int t
 let to_us t = float_of_int t /. 1e3
 let to_ms t = float_of_int t /. 1e6

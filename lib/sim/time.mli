@@ -24,6 +24,11 @@ val ms : float -> t
 val sec : float -> t
 (** [sec x] is [x] seconds, rounded to the nearest nanosecond. *)
 
+val unsafe_of_ns : int -> t
+(** [unsafe_of_ns n] reinterprets an int nanosecond count as a time with
+    no range check.  For schedulers that store times unboxed and need to
+    hand them back; everyone else should use {!ns}. *)
+
 val to_ns : t -> int64
 val to_us : t -> float
 val to_ms : t -> float

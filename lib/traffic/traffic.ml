@@ -18,47 +18,96 @@ let default_config =
     startup_window = Time.sec 10.;
   }
 
+(* One slot = an endless succession of flows.  The slot record carries
+   the current flow's state and is re-armed by two pre-bound callbacks
+   — one per packet tick, one per flow restart — via [Engine.at_fn], so
+   steady-state traffic generation schedules without allocating
+   closures.  RNG draw order (flow id, src/dst pair, duration) and
+   event scheduling order (packet tick before restart) match the
+   original closure-based generator exactly; same-instant determinism
+   depends on it. *)
+type slot = {
+  engine : Engine.t;
+  rng : Rng.t;
+  config : config;
+  until : Time.t;
+  num_nodes : int;
+  emit : src:Node_id.t -> Data_msg.t -> unit;
+  interval : Time.t;
+  next_flow_id : int ref;  (* shared across slots *)
+  mutable s_flow_id : int;
+  mutable s_src : Node_id.t;
+  mutable s_dst : Node_id.t;
+  mutable s_seq : int;
+  mutable s_stop : Time.t;
+  mutable s_at : Time.t;  (* next packet tick *)
+}
+
+let pick_pair s =
+  let src = Rng.int s.rng s.num_nodes in
+  let rec pick_dst () =
+    let d = Rng.int s.rng s.num_nodes in
+    if d = src then pick_dst () else d
+  in
+  (Node_id.of_int src, Node_id.of_int (pick_dst ()))
+
+let rec start_flow s start =
+  if Time.(start < s.until) then begin
+    s.s_flow_id <- !(s.next_flow_id);
+    incr s.next_flow_id;
+    let src, dst = pick_pair s in
+    s.s_src <- src;
+    s.s_dst <- dst;
+    let duration =
+      Time.sec (Rng.exponential s.rng (Time.to_sec s.config.mean_flow_duration))
+    in
+    s.s_stop <- Time.min s.until (Time.add start duration);
+    s.s_seq <- 0;
+    emit_packet s start;
+    (* The slot restarts as soon as this flow ends. *)
+    ignore (Engine.at_fn s.engine s.s_stop restart s)
+  end
+
+and emit_packet s at =
+  if Time.(at < s.s_stop) then begin
+    s.s_at <- at;
+    ignore (Engine.at_fn s.engine at packet_tick s)
+  end
+
+and packet_tick s =
+  let at = s.s_at in
+  let msg =
+    Data_msg.fresh ~flow_id:s.s_flow_id ~seq:s.s_seq ~src:s.s_src ~dst:s.s_dst
+      ~payload_bytes:s.config.payload_bytes ~origin_time:at
+  in
+  s.s_seq <- s.s_seq + 1;
+  s.emit ~src:s.s_src msg;
+  emit_packet s (Time.add at s.interval)
+
+and restart s = start_flow s s.s_stop
+
 let setup ~engine ~rng ~num_nodes ~config ~until ~emit =
   if num_nodes < 2 then invalid_arg "Traffic.setup: need at least two nodes";
   let next_flow_id = ref 0 in
-  let pick_pair () =
-    let src = Rng.int rng num_nodes in
-    let rec pick_dst () =
-      let d = Rng.int rng num_nodes in
-      if d = src then pick_dst () else d
-    in
-    (Node_id.of_int src, Node_id.of_int (pick_dst ()))
-  in
   let interval = Time.sec (1. /. config.packets_per_sec) in
-  (* One slot = an endless succession of flows. *)
-  let rec start_flow start =
-    if Time.(start < until) then begin
-      let flow_id = !next_flow_id in
-      incr next_flow_id;
-      let src, dst = pick_pair () in
-      let duration =
-        Time.sec
-          (Rng.exponential rng (Time.to_sec config.mean_flow_duration))
-      in
-      let stop = Time.min until (Time.add start duration) in
-      let seq = ref 0 in
-      let rec emit_packet at =
-        if Time.(at < stop) then
-          ignore
-            (Engine.at engine at (fun () ->
-                 let msg =
-                   Data_msg.fresh ~flow_id ~seq:!seq ~src ~dst
-                     ~payload_bytes:config.payload_bytes ~origin_time:at
-                 in
-                 incr seq;
-                 emit ~src msg;
-                 emit_packet (Time.add at interval)))
-      in
-      emit_packet start;
-      (* The slot restarts as soon as this flow ends. *)
-      ignore (Engine.at engine stop (fun () -> start_flow stop))
-    end
-  in
   for _ = 1 to config.num_flows do
-    start_flow (Rng.uniform_time rng config.startup_window)
+    let s =
+      {
+        engine;
+        rng;
+        config;
+        until;
+        num_nodes;
+        emit;
+        interval;
+        next_flow_id;
+        s_flow_id = 0;
+        s_src = Node_id.of_int 0;
+        s_dst = Node_id.of_int 0;
+        s_seq = 0;
+        s_stop = Time.zero;
+        s_at = Time.zero;
+      }
+    in
+    start_flow s (Rng.uniform_time rng config.startup_window)
   done

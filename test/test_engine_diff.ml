@@ -1,0 +1,68 @@
+(* Full-stack scheduler differential: seeded mobile scenarios run under
+   the binary-heap and calendar engines must produce identical outcomes
+   — same metrics summary, same event count, same transmissions.  The
+   two schedulers share every call site, so this pins the calendar
+   queue's ordering (including same-instant FIFO ties, which MAC
+   contention resolves through) against the reference heap across the
+   whole protocol stack. *)
+
+open Experiment
+
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-12)
+
+let base protocol seed =
+  Scenario.paper_50 protocol
+  |> Scenario.with_duration (Sim.Time.sec 40.)
+  |> Scenario.with_flows 8
+  |> Scenario.with_seed seed
+
+let compare_outcomes label (sc : Scenario.t) =
+  let cal = Runner.run sc in
+  let heap = Runner.run (Scenario.with_heap_scheduler true sc) in
+  checki (label ^ " events") heap.events_processed cal.events_processed;
+  checki (label ^ " transmissions") heap.transmissions cal.transmissions;
+  checki (label ^ " queue drops") heap.mac_queue_drops cal.mac_queue_drops;
+  checki (label ^ " unicast failures") heap.mac_unicast_failures
+    cal.mac_unicast_failures;
+  let hs = heap.summary and cs = cal.summary in
+  checkf (label ^ " delivery") hs.Metrics.s_delivery_ratio
+    cs.Metrics.s_delivery_ratio;
+  checkf (label ^ " latency") hs.Metrics.s_latency_ms cs.Metrics.s_latency_ms;
+  checkf (label ^ " load") hs.Metrics.s_network_load cs.Metrics.s_network_load;
+  checkf (label ^ " rreq load") hs.Metrics.s_rreq_load cs.Metrics.s_rreq_load;
+  checkf (label ^ " rrep init") hs.Metrics.s_rrep_init cs.Metrics.s_rrep_init;
+  checkf (label ^ " rrep recv") hs.Metrics.s_rrep_recv cs.Metrics.s_rrep_recv
+
+let protocols =
+  [
+    ("ldr", Scenario.ldr);
+    ("aodv", Scenario.aodv);
+    ("dsr", Scenario.dsr);
+    ("olsr", Scenario.olsr);
+  ]
+
+let diff_case (name, protocol) =
+  Alcotest.test_case name `Slow (fun () ->
+      List.iter
+        (fun seed -> compare_outcomes name (base protocol seed))
+        [ 1; 5 ])
+
+(* The congested shape the benchmark targets: pause 0, heavy flows. *)
+let congested () =
+  let sc =
+    Scenario.paper_100 Scenario.ldr
+    |> Scenario.with_pause (Sim.Time.sec 0.)
+    |> Scenario.with_flows 30
+    |> Scenario.with_duration (Sim.Time.sec 15.)
+    |> Scenario.with_seed 3
+  in
+  compare_outcomes "congested" sc
+
+let () =
+  Alcotest.run "engine-diff"
+    [
+      ( "heap vs calendar",
+        List.map diff_case protocols
+        @ [ Alcotest.test_case "congested 100-node" `Slow congested ] );
+    ]

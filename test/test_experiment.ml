@@ -32,6 +32,7 @@ let small_scenario ?(protocol = Scenario.ldr) ?(seed = 7) ?(audit = false)
     seed;
     audit_loops = audit;
     naive_channel = false;
+    heap_scheduler = false;
   }
 
 let static_delivery ?(threshold = 0.95) protocol () =
@@ -144,6 +145,45 @@ let sweep_pause_series () =
   List.iter
     (fun (_, p) -> checki "two trials each" 2 (Stats.Welford.count p.Sweep.delivery_ratio))
     series
+
+(* merge_points against a single-pass baseline: feeding every summary
+   into one point must equal splitting them across two points and
+   merging — mean, variance, and count, per field. *)
+let sweep_merge_points () =
+  let sc = small_scenario ~duration:10. () in
+  let summaries =
+    List.map
+      (fun seed -> (Runner.run { sc with Scenario.seed }).Runner.summary)
+      [ 1; 2; 3; 4; 5 ]
+  in
+  let single = Sweep.empty_point () in
+  List.iter (Sweep.add_summary single) summaries;
+  let a = Sweep.empty_point () and b = Sweep.empty_point () in
+  List.iteri
+    (fun i s -> Sweep.add_summary (if i < 2 then a else b) s)
+    summaries;
+  let merged = Sweep.merge_points a b in
+  let fields =
+    [
+      ("delivery", fun (p : Sweep.point) -> p.Sweep.delivery_ratio);
+      ("latency", fun p -> p.Sweep.latency_ms);
+      ("load", fun p -> p.Sweep.network_load);
+      ("rreq", fun p -> p.Sweep.rreq_load);
+      ("rrep_init", fun p -> p.Sweep.rrep_init);
+      ("rrep_recv", fun p -> p.Sweep.rrep_recv);
+      ("seqno", fun p -> p.Sweep.mean_dest_seqno);
+    ]
+  in
+  List.iter
+    (fun (name, f) ->
+      let w1 = f single and w2 = f merged in
+      checki (name ^ " count") (Stats.Welford.count w1)
+        (Stats.Welford.count w2);
+      Alcotest.check (Alcotest.float 1e-9) (name ^ " mean")
+        (Stats.Welford.mean w1) (Stats.Welford.mean w2);
+      Alcotest.check (Alcotest.float 1e-9) (name ^ " variance")
+        (Stats.Welford.variance w1) (Stats.Welford.variance w2))
+    fields
 
 let scenario_builders () =
   let sc = Scenario.paper_50 Scenario.ldr in
@@ -258,6 +298,7 @@ let () =
       ( "sweep",
         [
           Alcotest.test_case "trials aggregate" `Slow sweep_trials;
+          Alcotest.test_case "merge points" `Slow sweep_merge_points;
           Alcotest.test_case "pause series" `Slow sweep_pause_series;
         ] );
       ( "scenario",

@@ -256,6 +256,190 @@ let queue_sorted_prop =
       in
       drain Time.zero)
 
+(* ---- Event_queue shrink ---------------------------------------------- *)
+
+let queue_shrinks () =
+  let q = Event_queue.create () in
+  for i = 0 to 999 do
+    ignore (Event_queue.schedule q (Time.us (float_of_int i)) ignore)
+  done;
+  checkb "grew past 1000" true (Event_queue.capacity q >= 1024);
+  for _ = 1 to 990 do
+    ignore (Event_queue.pop q)
+  done;
+  (* Halving chases occupancy down to the floor. *)
+  checki "shrank to floor" 64 (Event_queue.capacity q);
+  checki "survivors intact" 10 (Event_queue.live_count q)
+
+(* ---- Calendar_queue --------------------------------------------------- *)
+
+let calendar_orders_and_fifo () =
+  let q = Calendar_queue.create () in
+  let order = ref [] in
+  let note i () = order := i :: !order in
+  ignore (Calendar_queue.schedule q (Time.ms 3.) (note 3));
+  ignore (Calendar_queue.schedule q (Time.ms 1.) (note 1));
+  ignore (Calendar_queue.schedule q (Time.ms 1.) (note 11));
+  ignore (Calendar_queue.schedule q (Time.ms 2.) (note 2));
+  while Calendar_queue.pop_staged q max_int do
+    Calendar_queue.run_staged q
+  done;
+  Alcotest.(check (list int)) "time order, FIFO ties" [ 1; 11; 2; 3 ]
+    (List.rev !order)
+
+let calendar_cancel_is_physical () =
+  let q = Calendar_queue.create () in
+  let h1 = Calendar_queue.schedule q (Time.ms 1.) ignore in
+  let _h2 = Calendar_queue.schedule q (Time.ms 2.) ignore in
+  checki "two live" 2 (Calendar_queue.live_count q);
+  Calendar_queue.cancel q h1;
+  checki "slot freed immediately" 1 (Calendar_queue.live_count q);
+  Calendar_queue.cancel q h1;
+  checki "double cancel no-op" 1 (Calendar_queue.live_count q);
+  (* Cancel-heavy churn recycles slots instead of growing the pool —
+     the MAC's ACK-timer pattern. *)
+  let cap = Calendar_queue.capacity q in
+  for i = 0 to 9_999 do
+    let h = Calendar_queue.schedule q (Time.ms (float_of_int i)) ignore in
+    Calendar_queue.cancel q h
+  done;
+  checki "pool did not grow" cap (Calendar_queue.capacity q);
+  checki "churn left one event" 1 (Calendar_queue.live_count q)
+
+let calendar_stale_handle_safe () =
+  let q = Calendar_queue.create () in
+  let h_old = Calendar_queue.schedule q (Time.ms 1.) ignore in
+  checkb "popped" true (Calendar_queue.pop_staged q max_int);
+  Calendar_queue.run_staged q;
+  (* The next schedule recycles the fired slot; the old handle must not
+     be able to kill its new occupant. *)
+  ignore (Calendar_queue.schedule q (Time.ms 2.) ignore);
+  Calendar_queue.cancel q h_old;
+  checki "recycled slot untouched" 1 (Calendar_queue.live_count q)
+
+let calendar_overflow_tier () =
+  let q = Calendar_queue.create () in
+  (* Events far beyond any initial year land in the overflow tier and
+     still drain in global order. *)
+  ignore (Calendar_queue.schedule q (Time.us 1.) ignore);
+  ignore (Calendar_queue.schedule q (Time.sec 3600.) ignore);
+  ignore (Calendar_queue.schedule q (Time.us 2.) ignore);
+  ignore (Calendar_queue.schedule q (Time.sec 1800.) ignore);
+  let ts = ref [] in
+  while Calendar_queue.pop_staged q max_int do
+    ts := Time.to_us (Calendar_queue.staged_time q) :: !ts;
+    Calendar_queue.run_staged q
+  done;
+  Alcotest.(check (list (float 1e-6)))
+    "sorted across tiers"
+    [ 1.; 2.; 1_800_000_000.; 3_600_000_000. ]
+    (List.rev !ts);
+  (* Cancelling an overflow event also frees its slot immediately. *)
+  let _near = Calendar_queue.schedule q (Time.us 1.) ignore in
+  let far = Calendar_queue.schedule q (Time.sec 7200.) ignore in
+  Calendar_queue.cancel q far;
+  checki "overflow slot freed" 1 (Calendar_queue.live_count q)
+
+let calendar_below_base () =
+  let q = Calendar_queue.create () in
+  (* First event anchors the calendar at 10 s; a later schedule at 1 s
+     forces a re-anchor instead of a negative bucket. *)
+  ignore (Calendar_queue.schedule q (Time.sec 10.) ignore);
+  ignore (Calendar_queue.schedule q (Time.sec 1.) ignore);
+  checkb "popped" true (Calendar_queue.pop_staged q max_int);
+  Alcotest.(check (float 1e-9)) "earlier event first" 1.
+    (Time.to_sec (Calendar_queue.staged_time q));
+  Calendar_queue.run_staged q;
+  checkb "popped" true (Calendar_queue.pop_staged q max_int);
+  Alcotest.(check (float 1e-9)) "anchor event second" 10.
+    (Time.to_sec (Calendar_queue.staged_time q))
+
+(* Large random workload: resizes up and down, overflow migration,
+   same-time ties — the drain must come out in (time, schedule-order). *)
+let calendar_drains_sorted () =
+  let q = Calendar_queue.create () in
+  let rng = Rng.create 42 in
+  let n = 10_000 in
+  let times =
+    Array.init n (fun _ ->
+        if Rng.int rng 20 = 0 then Time.sec (float_of_int (Rng.int rng 3600))
+        else Time.us (float_of_int (Rng.int rng 2_000)))
+  in
+  let popped = ref [] in
+  Array.iteri
+    (fun i tm ->
+      ignore (Calendar_queue.schedule q tm (fun () -> popped := i :: !popped)))
+    times;
+  while Calendar_queue.pop_staged q max_int do
+    Calendar_queue.run_staged q
+  done;
+  checkb "drained" true (Calendar_queue.is_empty q);
+  let order = List.rev !popped in
+  checki "all fired" n (List.length order);
+  let last_t = ref (-1) and last_i = ref (-1) in
+  List.iter
+    (fun i ->
+      let t = (times.(i) :> int) in
+      checkb "sorted with FIFO ties" true
+        (t > !last_t || (t = !last_t && i > !last_i));
+      last_t := t;
+      last_i := i)
+    order
+
+(* ---- Engine: heap vs calendar differential --------------------------- *)
+
+let engine_none_handle () =
+  let e = Engine.create () in
+  checkb "none is none" true (Engine.is_none Engine.none);
+  Engine.cancel e Engine.none;
+  let h = Engine.at e (Time.ms 1.) ignore in
+  checkb "real handle is not none" false (Engine.is_none h)
+
+let fire_tag (tag, fired) = fired := tag :: !fired
+
+(* Drive both schedulers through the public Engine API with the same
+   random program of schedules (closure and closure-free paths, near
+   and far-future delays with heavy ties), cancels (including repeats
+   on the same handle) and single-event runs, then drain.  Firing
+   order — including same-time FIFO ties — clock and event count must
+   agree exactly. *)
+let engine_modes_agree_prop =
+  QCheck.Test.make ~name:"heap and calendar engines fire identically"
+    ~count:100
+    QCheck.(list (pair (int_bound 3) (int_bound 1_000_000)))
+    (fun ops ->
+      let trace scheduler =
+        let e = Engine.create ~scheduler () in
+        let fired = ref [] in
+        let handles = ref [] in
+        let tag = ref 0 in
+        List.iter
+          (fun (op, x) ->
+            match op with
+            | 0 | 1 ->
+                let t = !tag in
+                incr tag;
+                let d =
+                  if x mod 7 = 0 then Time.sec (float_of_int (x mod 5))
+                  else Time.us (float_of_int (x mod 300))
+                in
+                let h =
+                  if op = 0 then
+                    Engine.after e d (fun () -> fired := t :: !fired)
+                  else Engine.after_fn e d fire_tag (t, fired)
+                in
+                handles := h :: !handles
+            | 2 -> (
+                match !handles with
+                | [] -> ()
+                | hs -> Engine.cancel e (List.nth hs (x mod List.length hs)))
+            | _ -> Engine.run ~max_events:(Engine.events_processed e + 1) e)
+          ops;
+        Engine.run e;
+        (List.rev !fired, Engine.now e, Engine.events_processed e)
+      in
+      trace `Heap = trace `Calendar)
+
 (* ---- Engine ---------------------------------------------------------- *)
 
 let engine_runs_in_order () =
@@ -387,7 +571,7 @@ let engine_cancel () =
   let e = Engine.create () in
   let fired = ref false in
   let h = Engine.at e (Time.ms 1.) (fun () -> fired := true) in
-  Engine.cancel h;
+  Engine.cancel e h;
   Engine.run e;
   checkb "cancelled" false !fired
 
@@ -444,7 +628,19 @@ let () =
           Alcotest.test_case "cancel among others" `Quick queue_cancel_among_others;
           Alcotest.test_case "next_time" `Quick queue_next_time;
           Alcotest.test_case "grows" `Quick queue_grows;
+          Alcotest.test_case "shrinks" `Quick queue_shrinks;
           qt queue_sorted_prop;
+        ] );
+      ( "calendar_queue",
+        [
+          Alcotest.test_case "orders and fifo" `Quick calendar_orders_and_fifo;
+          Alcotest.test_case "cancel is physical" `Quick
+            calendar_cancel_is_physical;
+          Alcotest.test_case "stale handle safe" `Quick
+            calendar_stale_handle_safe;
+          Alcotest.test_case "overflow tier" `Quick calendar_overflow_tier;
+          Alcotest.test_case "below base reanchors" `Quick calendar_below_base;
+          Alcotest.test_case "drains sorted" `Quick calendar_drains_sorted;
         ] );
       ( "engine",
         [
@@ -464,6 +660,8 @@ let () =
           Alcotest.test_case "every jitter respects horizon" `Quick
             engine_every_jitter_respects_horizon;
           Alcotest.test_case "cancel" `Quick engine_cancel;
+          Alcotest.test_case "none handle" `Quick engine_none_handle;
           Alcotest.test_case "determinism" `Quick engine_determinism;
+          qt engine_modes_agree_prop;
         ] );
     ]

@@ -38,6 +38,28 @@ let welford_t_table () =
     (Invalid_argument "Welford.t_critical: df must be positive") (fun () ->
       ignore (Welford.t_critical ~df:0))
 
+(* ci95 across the t-table boundary: with df beyond the table the
+   critical value falls back to the normal 1.96, and the half-width
+   must follow t * s / sqrt(n) exactly on both sides of the edge. *)
+let welford_ci_beyond_table () =
+  let expect_ci n =
+    let w = Welford.create () in
+    for i = 1 to n do
+      Welford.add w (float_of_int (i mod 5))
+    done;
+    let expected =
+      Welford.t_critical ~df:(n - 1)
+      *. Welford.stddev w
+      /. sqrt (float_of_int n)
+    in
+    checkfa 1e-12 (Printf.sprintf "ci n=%d" n) expected (Welford.ci95 w);
+    Welford.t_critical ~df:(n - 1)
+  in
+  (* df 30: last tabulated row; df 31 and beyond: z fallback. *)
+  checkfa 1e-9 "edge uses table" 2.042 (expect_ci 31);
+  checkfa 1e-9 "past edge uses z" 1.96 (expect_ci 32);
+  checkfa 1e-9 "far past edge" 1.96 (expect_ci 200)
+
 let welford_merge () =
   let a = Welford.create () and b = Welford.create () and whole = Welford.create () in
   let xs = [ 1.; 5.; 2.; 8.; 3. ] and ys = [ 9.; 4.; 7. ] in
@@ -141,6 +163,8 @@ let () =
           Alcotest.test_case "empty/single" `Quick welford_empty_and_single;
           Alcotest.test_case "ci small sample" `Quick welford_ci_small_sample;
           Alcotest.test_case "t table" `Quick welford_t_table;
+          Alcotest.test_case "ci beyond t-table" `Quick
+            welford_ci_beyond_table;
           Alcotest.test_case "merge" `Quick welford_merge;
           Alcotest.test_case "merge empty" `Quick welford_merge_empty;
           qt welford_estimator_prop;
