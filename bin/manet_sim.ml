@@ -73,7 +73,54 @@ let trace =
     value & flag
     & info [ "trace" ]
         ~doc:"Print a per-event run trace (transmissions, deliveries, drops, \
-              link failures) to stderr.")
+              table writes, link failures) to stderr.")
+
+let json =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Print the outcome as one JSON object on stdout.")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Stream every observability event to $(docv) as JSONL \
+              (analyse with $(b,manet_sim trace)).")
+
+let monitor =
+  Arg.(
+    value & flag
+    & info [ "monitor" ]
+        ~doc:"Attach the continuous LDR invariant monitor: every \
+              routing-table write is checked in O(1) against the \
+              successor's stored invariants; violations print a \
+              last-events window to stderr.")
+
+let sample =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "sample" ] ~docv:"DT"
+        ~doc:"Write time-series gauges (queue depths, delivery ratio, \
+              control rate, route-table sizes) every $(docv) simulated \
+              seconds.")
+
+let sample_out =
+  Arg.(
+    value
+    & opt string "samples.jsonl"
+    & info [ "sample-out" ] ~docv:"FILE"
+        ~doc:"Destination for $(b,--sample) output.")
+
+let inject_stale =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "inject-stale" ] ~docv:"T"
+        ~doc:"Fault injection: at simulated second $(docv), feed one node \
+              a forged RREP with an absurdly new sequence number — the \
+              seeded corruption the invariant monitor is built to catch.")
 
 let trials =
   Arg.(value & opt int 3 & info [ "trials" ] ~docv:"T" ~doc:"Trials per point (sweep).")
@@ -111,6 +158,59 @@ let scenario protocol nodes width height flows pps pause speed_max duration seed
     heap_scheduler = false;
   }
 
+(* Hand-rolled JSON: the trace schema is flat and the container ships no
+   JSON library.  NaN (empty latency samples) must become null — NaN is
+   not JSON. *)
+let json_float f =
+  if Float.is_nan f then "null" else Printf.sprintf "%.6g" f
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_kind_counts pairs =
+  String.concat ","
+    (List.map
+       (fun (k, v) -> Printf.sprintf "\"%s\":%d" (json_escape k) v)
+       pairs)
+
+let print_outcome_json (o : Runner.outcome) =
+  let m = o.metrics in
+  Printf.printf
+    "{\"originated\":%d,\"delivered\":%d,\"duplicates\":%d,\
+     \"delivery_ratio\":%s,\"mean_latency_ms\":%s,\"median_latency_ms\":%s,\
+     \"p95_latency_ms\":%s,\"mean_hops\":%s,\"network_load\":%s,\
+     \"rreq_load\":%s,\"control_tx\":%d,\"control_by_kind\":{%s},\
+     \"data_tx\":%d,\"frames_on_air\":%d,\"ifq_drops\":%d,\
+     \"link_failures\":%d,\"drops_by_reason\":{%s},\"mean_dest_seqno\":%s,\
+     \"loop_violations\":%d,\"invariant_violations\":%d,\
+     \"events_processed\":%d}\n"
+    (Metrics.originated m) (Metrics.delivered m) (Metrics.duplicates m)
+    (json_float (Metrics.delivery_ratio m))
+    (json_float (Metrics.mean_latency_ms m))
+    (json_float (Metrics.median_latency_ms m))
+    (json_float (Metrics.p95_latency_ms m))
+    (json_float (Metrics.mean_hops m))
+    (json_float (Metrics.network_load m))
+    (json_float (Metrics.rreq_load m))
+    (Metrics.control_transmissions m)
+    (json_kind_counts (Metrics.control_by_kind m))
+    (Metrics.data_transmissions m)
+    o.transmissions o.mac_queue_drops o.mac_unicast_failures
+    (json_kind_counts (Metrics.drops_by_reason m))
+    (json_float (Metrics.mean_dest_seqno m))
+    (Metrics.loop_violations m) o.invariant_violations o.events_processed
+
 let print_outcome (o : Runner.outcome) =
   let m = o.metrics in
   Format.printf "originated        %d@." (Metrics.originated m);
@@ -137,37 +237,51 @@ let print_outcome (o : Runner.outcome) =
     (Metrics.drops_by_reason m);
   Format.printf "mean dest seqno   %.2f@." (Metrics.mean_dest_seqno m);
   Format.printf "loop violations   %d@." (Metrics.loop_violations m);
+  Format.printf "invariant viols   %d@." o.invariant_violations;
   Format.printf "events processed  %d@." o.events_processed
 
 let run_cmd =
   let action protocol nodes width height flows pps pause speed_max duration
-      seed audit trace =
+      seed audit trace json trace_out monitor sample sample_out inject_stale =
     if trace then Trace.enable ();
     let sc =
       scenario protocol nodes width height flows pps pause speed_max duration
         seed audit
     in
-    Format.printf "%s: %d nodes on %.0fx%.0fm, %d flows @ %g pps, pause %gs, %gs@."
-      (Scenario.protocol_name protocol)
-      nodes width height flows pps pause duration;
-    print_outcome (Runner.run sc)
+    if not json then
+      Format.printf
+        "%s: %d nodes on %.0fx%.0fm, %d flows @ %g pps, pause %gs, %gs@."
+        (Scenario.protocol_name protocol)
+        nodes width height flows pps pause duration;
+    let prepare =
+      Option.map
+        (fun t sim -> ignore (Fault.stale_seqno sim ~at:(Time.sec t)))
+        inject_stale
+    in
+    let outcome =
+      Runner.run ~monitor ?trace_out
+        ?sample:(Option.map Time.sec sample)
+        ~sample_out ?prepare sc
+    in
+    if json then print_outcome_json outcome else print_outcome outcome
   in
   let term =
     Term.(
       const action $ protocol $ nodes $ width $ height $ flows $ pps $ pause
-      $ speed_max $ duration $ seed $ audit $ trace)
+      $ speed_max $ duration $ seed $ audit $ trace $ json $ trace_out
+      $ monitor $ sample $ sample_out $ inject_stale)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one scenario and print its metrics.") term
 
 let sweep_cmd =
   let action protocol nodes width height flows pps speed_max duration seed
-      trials pauses =
+      trials pauses audit =
     let rows =
       List.map
         (fun pause ->
           let sc =
             scenario protocol nodes width height flows pps pause speed_max
-              duration seed false
+              duration seed audit
           in
           let p = Sweep.trials sc ~n:trials in
           [
@@ -192,12 +306,101 @@ let sweep_cmd =
   let term =
     Term.(
       const action $ protocol $ nodes $ width $ height $ flows $ pps
-      $ speed_max $ duration $ seed $ trials $ pauses)
+      $ speed_max $ duration $ seed $ trials $ pauses $ audit)
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep pause times and print a figure-style series.")
     term
 
+let trace_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace written by $(b,--trace-out).")
+  in
+  let node =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "node" ] ~docv:"N" ~doc:"Print node $(docv)'s full timeline.")
+  in
+  let dst =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "dst" ] ~docv:"D"
+          ~doc:"Print successor changes (route flaps) toward destination \
+                $(docv).")
+  in
+  let drops =
+    Arg.(
+      value & flag
+      & info [ "drops" ]
+          ~doc:"Print data drops, queue overflows and collisions bucketed \
+                over time.")
+  in
+  let violations =
+    Arg.(
+      value & flag
+      & info [ "violations" ]
+          ~doc:"Reconstruct each invariant violation's last-events window \
+                from the trace (matches the monitor's live ring dump).")
+  in
+  let k =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "k" ] ~docv:"K"
+          ~doc:"Window size for $(b,--violations) (default: the monitor's \
+                ring capacity).")
+  in
+  let action file node dst drops violations k =
+    match Obs.Reader.load file with
+    | Error e ->
+        prerr_endline e;
+        Stdlib.exit 1
+    | Ok t ->
+        let printed = ref false in
+        let section lines =
+          printed := true;
+          List.iter print_endline lines
+        in
+        (match node with
+        | Some n -> section (Obs.Reader.timeline t ~node:n)
+        | None -> ());
+        (match dst with
+        | Some d -> section (Obs.Reader.flaps t ~dst:d)
+        | None -> ());
+        if drops then section (Obs.Reader.drop_report t);
+        if violations then begin
+          printed := true;
+          let n = Obs.Reader.violations t in
+          if n = 0 then print_endline "no violations"
+          else
+            for i = 0 to n - 1 do
+              match Obs.Reader.violation_window ?k t i with
+              | None -> ()
+              | Some (line, window) ->
+                  Printf.printf "violation %d: %s\n" i line;
+                  List.iter (fun l -> print_endline ("  " ^ l)) window
+            done
+        end;
+        if not !printed then section (Obs.Reader.summary t)
+  in
+  let term =
+    Term.(const action $ file $ node $ dst $ drops $ violations $ k)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Analyse a JSONL trace: per-node timelines, route flaps, drop \
+          breakdowns and violation windows.  With no query flags, prints \
+          event totals by kind.")
+    term
+
 let () =
   let doc = "MANET routing simulator (LDR / AODV / DSR / OLSR)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "manet_sim" ~doc) [ run_cmd; sweep_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "manet_sim" ~doc) [ run_cmd; sweep_cmd; trace_cmd ]))

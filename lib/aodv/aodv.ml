@@ -476,4 +476,6 @@ let factory ?(config = default_config) () (ctx : RA.ctx) =
           | Some r -> r.next_hop
           | None -> None);
     own_seqno = (fun () -> float_of_int t.own_sn);
+    invariants = (fun _ -> None);
+    route_stats = (fun () -> (Node_id.Table.length t.table, 0, 0));
   }

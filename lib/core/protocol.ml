@@ -127,7 +127,7 @@ let rec issue_rreq t dst pend =
       unicast_probe = false;
     }
   in
-  t.ctx.event "rreq_init";
+  t.ctx.event ~dst "rreq_init";
   send_ldr t ~dst:Net.Frame.Broadcast (Ldr_msg.Rreq rreq);
   let timeout =
     Routing.Discovery.attempt_timeout t.cfg.ring ~ttl:pend.p_ttl
@@ -268,7 +268,7 @@ let destination_reply t (r : Ldr_msg.rreq) ~last_hop =
       rrep_no_reverse = r.no_reverse;
     }
   in
-  t.ctx.event "rrep_init";
+  t.ctx.event ~dst:t.ctx.id "rrep_init";
   send_ldr t ~dst:(Net.Frame.Unicast last_hop) (Ldr_msg.Rrep rrep)
 
 let intermediate_reply t (e : Route_table.entry) (r : Ldr_msg.rreq) ~last_hop =
@@ -283,7 +283,7 @@ let intermediate_reply t (e : Route_table.entry) (r : Ldr_msg.rreq) ~last_hop =
       rrep_no_reverse = r.no_reverse;
     }
   in
-  t.ctx.event "rrep_init";
+  t.ctx.event ~dst:r.dst "rrep_init";
   Routing.Rreq_cache.update t.cache ~origin:r.origin ~rreq_id:r.rreq_id
     (fun eng ->
       eng.best_forwarded <- Some (e.sn, e.dist);
@@ -406,7 +406,7 @@ let n_bit_probe t dst =
               unicast_probe = true;
             }
           in
-          t.ctx.event "rreq_init";
+          t.ctx.event ~dst "rreq_init";
           send_ldr t ~dst:(Net.Frame.Unicast nh) (Ldr_msg.Rreq rreq))
 
 let handle_rrep t (r : Ldr_msg.rrep) ~from =
@@ -415,7 +415,7 @@ let handle_rrep t (r : Ldr_msg.rrep) ~from =
       ~lifetime:r.lifetime
   in
   let feasible = verdict <> `Rejected in
-  if feasible then t.ctx.event "rrep_usable_recv";
+  if feasible then t.ctx.event ~dst:r.dst "rrep_usable_recv";
   (* Any node whose own computation for this destination is now satisfied
      terminates it — relays can be active for a destination while engaged
      in other computations for it. *)
@@ -477,7 +477,7 @@ let handle_rerr t unreachable ~from =
         | `Promoted ->
             (* The error stops here: the alternate keeps us reachable. *)
             changed := true;
-            t.ctx.event "alternate_promoted";
+            t.ctx.event ~dst "alternate_promoted";
             None
         | `Untouched -> None)
       unreachable
@@ -488,7 +488,7 @@ let handle_rerr t unreachable ~from =
 let link_failure t payload ~next_hop =
   let invalidated, promoted = Route_table.invalidate_via t.table next_hop in
   if invalidated <> [] || promoted <> [] then t.ctx.table_changed ();
-  List.iter (fun _ -> t.ctx.event "alternate_promoted") promoted;
+  List.iter (fun dst -> t.ctx.event ~dst "alternate_promoted") promoted;
   (match payload with
   | Payload.Data msg -> (
       (* A promoted alternate carries the packet on immediately; failing
@@ -528,7 +528,9 @@ let make ?(config = Config.default) (ctx : RA.ctx) =
     {
       ctx;
       cfg = config;
-      table = Route_table.create ~multipath:config.multipath ~engine:ctx.engine ();
+      table =
+        Route_table.create ~multipath:config.multipath ~obs:ctx.obs
+          ~owner:(Node_id.to_int ctx.id) ~engine:ctx.engine ();
       cache =
         Routing.Rreq_cache.create ~engine:ctx.engine
           ~ttl:config.rreq_cache_ttl;
@@ -554,6 +556,27 @@ let make ?(config = Config.default) (ctx : RA.ctx) =
           if Node_id.equal dst ctx.id then None
           else Route_table.successor t.table dst);
       own_seqno = (fun () -> float_of_int t.own_increments);
+      invariants =
+        (fun dst ->
+          if Node_id.equal dst ctx.id then
+            (* A node is its own destination at distance 0 with its own
+               number — what its neighbors' SNC/FDC compare against. *)
+            Some { Obs.Event.i_sn = Seqnum.pack t.own_sn; i_dist = 0; i_fd = 0 }
+          else
+            match Route_table.invariants t.table dst with
+            | None -> None
+            | Some { Conditions.sn; dist; fd } ->
+                Some { Obs.Event.i_sn = Seqnum.pack sn; i_dist = dist; i_fd = fd });
+      route_stats =
+        (fun () ->
+          let entries = ref 0 and finite = ref 0 and fd_sum = ref 0 in
+          Route_table.iter t.table (fun _ e ->
+              incr entries;
+              if e.Route_table.fd < Conditions.infinity then begin
+                incr finite;
+                fd_sum := !fd_sum + e.Route_table.fd
+              end);
+          (!entries, !finite, !fd_sum));
     }
   in
   (agent, t)

@@ -16,12 +16,26 @@ type t = {
   engine : Engine.t;
   entries : entry Node_id.Table.t;
   multipath : bool;
+  obs : Obs.Bus.t;
+  owner : int;
 }
 
-let create ?(multipath = false) ~engine () =
-  { engine; entries = Node_id.Table.create 32; multipath }
+let create ?(multipath = false) ?obs ?(owner = -1) ~engine () =
+  let obs = match obs with Some b -> b | None -> Obs.Bus.create () in
+  { engine; entries = Node_id.Table.create 32; multipath; obs; owner }
 
 let now t = Engine.now t.engine
+
+let succ_int (e : entry) =
+  match e.next_hop with Some n -> Node_id.to_int n | None -> -1
+
+(* One event per structural table write: the monitor checks the written
+   edge, the analyzer counts successor flaps. *)
+let emit_write t ~dst ~old_succ (e : entry) =
+  if Obs.Bus.on t.obs then
+    Obs.Bus.table_write t.obs ~time:(now t) ~node:t.owner
+      ~dst:(Node_id.to_int dst) ~old_succ ~new_succ:(succ_int e) ~dist:e.dist
+      ~fd:e.fd ~sn:(Seqnum.pack e.sn)
 
 let find t dst = Node_id.Table.find_opt t.entries dst
 
@@ -66,7 +80,7 @@ let apply_advert t ?(lc = 1) ~dst ~adv_sn ~adv_dist ~via ~lifetime () =
   let expires = Time.add (now t) lifetime in
   match find t dst with
   | None ->
-      Node_id.Table.replace t.entries dst
+      let e =
         {
           sn = adv_sn;
           dist = new_dist;
@@ -74,7 +88,10 @@ let apply_advert t ?(lc = 1) ~dst ~adv_sn ~adv_dist ~via ~lifetime () =
           next_hop = Some via;
           expires;
           alternates = [];
-        };
+        }
+      in
+      Node_id.Table.replace t.entries dst e;
+      emit_write t ~dst ~old_succ:(-1) e;
       `Installed
   | Some e ->
       let own = { Conditions.sn = e.sn; dist = e.dist; fd = e.fd } in
@@ -87,12 +104,14 @@ let apply_advert t ?(lc = 1) ~dst ~adv_sn ~adv_dist ~via ~lifetime () =
           is_active t e && e.next_hop = Some via && Seqnum.equal adv_sn e.sn
           && new_dist <= e.dist
         then begin
+          let old_succ = succ_int e in
           e.dist <- new_dist;
           (* Procedure 3: feasible distance only ratchets down within a
              sequence number. *)
           e.fd <- Stdlib.min e.fd new_dist;
           prune_alternates e;
           refresh t e ~lifetime;
+          emit_write t ~dst ~old_succ e;
           `Refreshed
         end
         else `Rejected
@@ -111,6 +130,7 @@ let apply_advert t ?(lc = 1) ~dst ~adv_sn ~adv_dist ~via ~lifetime () =
       end
       else begin
         (* Procedure 3 (Set Route). *)
+        let old_succ = succ_int e in
         let sn_increased = Seqnum.(adv_sn > e.sn) in
         e.sn <- adv_sn;
         e.dist <- new_dist;
@@ -122,11 +142,17 @@ let apply_advert t ?(lc = 1) ~dst ~adv_sn ~adv_dist ~via ~lifetime () =
           drop_alternate e via;
           prune_alternates e
         end;
+        emit_write t ~dst ~old_succ e;
         `Installed
       end
 
 let invalidate t dst =
-  match find t dst with None -> () | Some e -> e.next_hop <- None
+  match find t dst with
+  | None -> ()
+  | Some e ->
+      let old_succ = succ_int e in
+      e.next_hop <- None;
+      if old_succ >= 0 then emit_write t ~dst ~old_succ e
 
 (* Best alternate = smallest distance through it, ties to smaller id. *)
 let best_alternate e =
@@ -148,6 +174,7 @@ let invalidate_via t neighbor =
     (fun dst e (invalidated, promoted) ->
       drop_alternate e neighbor;
       if e.next_hop = Some neighbor then begin
+        let old_succ = succ_int e in
         match if t.multipath then best_alternate e else None with
         | Some a ->
             (* LFI failover: a.alt_adv < fd, so the switch cannot form a
@@ -157,9 +184,11 @@ let invalidate_via t neighbor =
             e.alternates <-
               List.filter (fun x -> not (Node_id.equal x.alt_via a.alt_via))
                 e.alternates;
+            emit_write t ~dst ~old_succ e;
             (invalidated, dst :: promoted)
         | None ->
             e.next_hop <- None;
+            emit_write t ~dst ~old_succ e;
             (dst :: invalidated, promoted)
       end
       else (invalidated, promoted))
@@ -172,6 +201,7 @@ let fail_route t dst ~via =
       drop_alternate e via;
       if e.next_hop <> Some via then `Untouched
       else begin
+        let old_succ = succ_int e in
         match if t.multipath then best_alternate e else None with
         | Some a ->
             e.next_hop <- Some a.alt_via;
@@ -179,9 +209,11 @@ let fail_route t dst ~via =
             e.alternates <-
               List.filter (fun x -> not (Node_id.equal x.alt_via a.alt_via))
                 e.alternates;
+            emit_write t ~dst ~old_succ e;
             `Promoted
         | None ->
             e.next_hop <- None;
+            emit_write t ~dst ~old_succ e;
             `Invalidated
       end
 

@@ -33,10 +33,15 @@ type entry = {
 
 type t
 
-val create : ?multipath:bool -> engine:Sim.Engine.t -> unit -> t
+val create :
+  ?multipath:bool -> ?obs:Obs.Bus.t -> ?owner:int -> engine:Sim.Engine.t ->
+  unit -> t
 (** With [multipath] (default false), feasible non-primary
     advertisements are retained as alternates and {!invalidate_via}
-    promotes them instead of invalidating. *)
+    promotes them instead of invalidating.  When [obs] is given, every
+    structural write (install, refresh, invalidation, failover
+    promotion) emits an {!Obs.Event.Table_write} on the bus tagged with
+    [owner] (the node id as an int, default -1). *)
 
 val find : t -> Node_id.t -> entry option
 (** The entry, live or not. *)

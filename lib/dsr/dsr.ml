@@ -388,4 +388,6 @@ let factory ?(config = default_config) () (ctx : RA.ctx) =
     start = (fun () -> ());
     successor = (fun _ -> None);
     own_seqno = (fun () -> 0.);
+    invariants = (fun _ -> None);
+    route_stats = (fun () -> (0, 0, 0));
   }

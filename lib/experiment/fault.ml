@@ -1,0 +1,44 @@
+open Sim
+open Packets
+
+let stale_seqno ?(stamp = 1_000_000) (sim : Runner.sim) ~at =
+  let injected = ref false in
+  ignore
+    (Engine.at sim.Runner.engine at (fun () ->
+         let agents = sim.Runner.agents in
+         let n = Array.length agents in
+         try
+           for i = 0 to n - 1 do
+             for d = 0 to n - 1 do
+               if d <> i then
+                 match
+                   agents.(i).Routing.Agent.successor (Node_id.of_int d)
+                 with
+                 | Some s ->
+                     (* A reply the real destination never issued: its
+                        number vaults past anything in the network, so
+                        NDC accepts it and the route installs — but the
+                        successor's stored invariants cannot dominate
+                        the forged ones, which is exactly what the
+                        monitor checks. *)
+                     let forged =
+                       Ldr_msg.Rrep
+                         {
+                           Ldr_msg.dst = Node_id.of_int d;
+                           dst_sn = { Seqnum.stamp; counter = 0 };
+                           origin = Node_id.of_int i;
+                           rreq_id = 987_654;
+                           dist = 1;
+                           lifetime = Time.sec 10.;
+                           rrep_no_reverse = false;
+                         }
+                     in
+                     agents.(i).Routing.Agent.recv (Payload.Ldr forged)
+                       ~from:s;
+                     injected := true;
+                     raise Exit
+                 | None -> ()
+             done
+           done
+         with Exit -> ()));
+  injected

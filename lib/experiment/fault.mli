@@ -1,0 +1,19 @@
+(** Seeded protocol faults, for exercising the invariant monitor.
+
+    Real LDR cannot violate its own ordering invariant (that is the
+    paper's Theorem 1), so testing the monitor requires corrupting an
+    agent from outside: these helpers schedule a malformed control
+    message into an otherwise-healthy run. *)
+
+val stale_seqno : ?stamp:int -> Runner.sim -> at:Sim.Time.t -> bool ref
+(** At virtual time [at], deliver a forged RREP to the first node that
+    has an active route: it advertises that node's current successor
+    with an absurdly new sequence number ([stamp], default 1e6).  The
+    node installs it (NDC accepts newer numbers unconditionally), and
+    the written edge's successor no longer dominates — the invariant
+    monitor, if attached, fires at that exact table write.
+
+    The returned ref becomes [true] once the fault has actually been
+    injected (it stays [false] if no node had an active route at
+    [at]).  Pass via {!Runner.run}'s [prepare] callback or call on a
+    built {!Runner.sim} before running. *)

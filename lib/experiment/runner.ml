@@ -8,6 +8,7 @@ type outcome = {
   mac_queue_drops : int;
   mac_unicast_failures : int;
   transmissions : int;
+  invariant_violations : int;
 }
 
 type sim = {
@@ -15,16 +16,20 @@ type sim = {
   agents : Routing.Agent.t array;
   macs : Net.Mac.t array;
   channel : Net.Channel.t;
+  bus : Obs.Bus.t;
   inject : src:int -> dst:int -> unit;
   sim_metrics : Metrics.t;
   finalize : unit -> unit;
+  mutable monitor : Obs.Monitor.t option;
+  mutable cleanup : (unit -> unit) list;
 }
 
 (* Any loop created by a routing-table write must traverse the edge just
    written, so it suffices to walk successor chains starting at the node
    that changed (for every destination it currently has a successor
-   for). *)
-let audit_from agents metrics n num_nodes =
+   for).  The visited set is a generation-stamped scratch array shared
+   across every audit in the run — no per-walk allocation. *)
+let audit_from ~scratch ~gen agents metrics n num_nodes =
   let agent : Routing.Agent.t = agents.(n) in
   for d = 0 to num_nodes - 1 do
     if d <> n then begin
@@ -32,12 +37,13 @@ let audit_from agents metrics n num_nodes =
       match agent.Routing.Agent.successor dst with
       | None -> ()
       | Some _ ->
-          let visited = Array.make num_nodes false in
+          incr gen;
+          let g = !gen in
           let rec walk x =
             let xi = Node_id.to_int x in
-            if visited.(xi) then Metrics.loop_violation metrics
+            if scratch.(xi) = g then Metrics.loop_violation metrics
             else begin
-              visited.(xi) <- true;
+              scratch.(xi) <- g;
               if not (Node_id.equal x dst) then
                 match agents.(xi).Routing.Agent.successor dst with
                 | Some next -> walk next
@@ -48,7 +54,7 @@ let audit_from agents metrics n num_nodes =
     end
   done
 
-let build ?on_engine (sc : Scenario.t) =
+let build ?on_engine ?obs (sc : Scenario.t) =
   let engine =
     Engine.create ~seed:sc.seed
       ~scheduler:(if sc.heap_scheduler then `Heap else `Calendar)
@@ -58,6 +64,8 @@ let build ?on_engine (sc : Scenario.t) =
      benchmark), called before anything is scheduled so setup-time
      events are captured too. *)
   (match on_engine with Some f -> f engine | None -> ());
+  let bus = match obs with Some b -> b | None -> Obs.Bus.create () in
+  if Trace.on () then Obs.Bus.add_sink bus (Trace.obs_sink bus);
   let root = Engine.rng engine in
   let placement_rng = Rng.split root in
   let mobility_rng = Rng.split root in
@@ -67,10 +75,9 @@ let build ?on_engine (sc : Scenario.t) =
     Net.Channel.create ~engine
       ~mode:(if sc.naive_channel then Net.Channel.Naive else Net.Channel.Grid)
       ~max_speed:(Float.max sc.speed_max 0.)
-      ~params:sc.net ()
+      ~obs:bus ~params:sc.net ()
   in
-  Net.Channel.set_transmit_hook channel (fun src frame ->
-      Trace.transmit engine src frame;
+  Net.Channel.set_transmit_hook channel (fun _src frame ->
       Metrics.transmitted metrics frame);
   let n = sc.num_nodes in
   let agents : Routing.Agent.t array =
@@ -83,8 +90,12 @@ let build ?on_engine (sc : Scenario.t) =
         start = ignore;
         successor = (fun _ -> None);
         own_seqno = (fun () -> 0.);
+        invariants = (fun _ -> None);
+        route_stats = (fun () -> (0, 0, 0));
       }
   in
+  let audit_scratch = Array.make n (-1) in
+  let audit_gen = ref 0 in
   let factory = Scenario.factory sc.protocol in
   let macs = ref [] in
   let starts = Scenario.positions sc placement_rng in
@@ -110,7 +121,9 @@ let build ?on_engine (sc : Scenario.t) =
               agents.(i).Routing.Agent.overheard payload ~from ~dst);
           link_failure =
             (fun payload ~next_hop ->
-              Trace.link_failure engine id ~next_hop;
+              if Obs.Bus.on bus then
+                Obs.Bus.link_failure bus ~time:(Engine.now engine) ~node:i
+                  ~next_hop:(Node_id.to_int next_hop);
               agents.(i).Routing.Agent.link_failure payload ~next_hop);
         }
     in
@@ -123,19 +136,38 @@ let build ?on_engine (sc : Scenario.t) =
         send = (fun ~dst payload -> Net.Mac.send mac ~dst payload);
         deliver =
           (fun msg ->
-            Trace.deliver engine id msg;
-            Metrics.data_delivered metrics ~now:(Engine.now engine) msg);
+            let now = Engine.now engine in
+            if Obs.Bus.on bus then
+              Obs.Bus.deliver bus ~time:now ~node:i
+                ~flow:msg.Data_msg.flow_id ~seq:msg.Data_msg.seq
+                ~src:(Node_id.to_int msg.Data_msg.src)
+                ~hops:msg.Data_msg.hops
+                ~latency_ns:
+                  ((Time.diff now msg.Data_msg.origin_time :> int));
+            Metrics.data_delivered metrics ~now msg);
         drop_data =
           (fun msg ~reason ->
-            Trace.drop engine id msg ~reason;
+            if Obs.Bus.on bus then
+              Obs.Bus.data_drop bus ~time:(Engine.now engine) ~node:i
+                ~reason:(Obs.Bus.intern bus reason)
+                ~flow:msg.Data_msg.flow_id ~seq:msg.Data_msg.seq
+                ~src:(Node_id.to_int msg.Data_msg.src)
+                ~dst:(Node_id.to_int msg.Data_msg.dst);
             Metrics.data_dropped metrics msg ~reason);
         event =
-          (fun name ->
-            Trace.protocol_event engine id name;
+          (fun ?dst name ->
+            if Obs.Bus.on bus then
+              Obs.Bus.proto bus ~time:(Engine.now engine) ~node:i
+                ~name:(Obs.Bus.intern bus name)
+                ~dst:
+                  (match dst with Some d -> Node_id.to_int d | None -> -1);
             Metrics.protocol_event metrics name);
         table_changed =
-          (if sc.audit_loops then fun () -> audit_from agents metrics i n
+          (if sc.audit_loops then fun () ->
+             audit_from ~scratch:audit_scratch ~gen:audit_gen agents metrics
+               i n
            else ignore);
+        obs = bus;
       }
     in
     agents.(i) <- factory ctx
@@ -171,18 +203,58 @@ let build ?on_engine (sc : Scenario.t) =
     agents;
     macs = Array.of_list (List.rev !macs);
     channel;
+    bus;
     inject;
     sim_metrics = metrics;
     finalize;
+    monitor = None;
+    cleanup = [];
   }
 
-let run ?on_engine (sc : Scenario.t) =
-  let sim = build ?on_engine sc in
+let attach_trace sim path =
+  let oc = open_out path in
+  Obs.Bus.add_sink sim.bus (Obs.Jsonl.sink sim.bus oc);
+  sim.cleanup <- (fun () -> close_out oc) :: sim.cleanup
+
+let attach_monitor ?ring ?quiet sim =
+  let lookup ~node ~dst =
+    sim.agents.(node).Routing.Agent.invariants (Node_id.of_int dst)
+  in
+  let m = Obs.Monitor.create ?ring ?quiet ~lookup sim.bus in
+  sim.monitor <- Some m;
+  m
+
+let attach_sampler sim ~every ~until path =
+  let oc = open_out path in
+  Sampler.attach ~engine:sim.engine ~metrics:sim.sim_metrics
+    ~channel:sim.channel ~macs:sim.macs ~agents:sim.agents ~every ~until
+    ~oc;
+  sim.cleanup <- (fun () -> close_out oc) :: sim.cleanup
+
+let finish sim =
+  sim.finalize ();
+  List.iter (fun f -> f ()) sim.cleanup;
+  sim.cleanup <- []
+
+let run ?on_engine ?obs ?monitor ?trace_out ?sample ?sample_out ?prepare
+    (sc : Scenario.t) =
+  let sim = build ?on_engine ?obs sc in
   (* Let in-flight packets (and their latency) resolve briefly after the
      last origination. *)
   let drain = Time.sec 2. in
-  Engine.run ~until:(Time.add sc.duration drain) sim.engine;
-  sim.finalize ();
+  let until = Time.add sc.duration drain in
+  (* File sinks before the monitor, so a violation's ring dump and the
+     trace file agree on what precedes the violation line. *)
+  (match trace_out with Some path -> attach_trace sim path | None -> ());
+  if monitor = Some true then ignore (attach_monitor sim);
+  (match sample with
+  | Some every ->
+      let path = match sample_out with Some p -> p | None -> "samples.jsonl" in
+      attach_sampler sim ~every ~until path
+  | None -> ());
+  (match prepare with Some f -> f sim | None -> ());
+  Engine.run ~until sim.engine;
+  finish sim;
   let metrics = sim.sim_metrics in
   let sum f = Array.fold_left (fun acc m -> acc + f m) 0 sim.macs in
   {
@@ -192,4 +264,6 @@ let run ?on_engine (sc : Scenario.t) =
     mac_queue_drops = sum Net.Mac.queue_drops;
     mac_unicast_failures = sum Net.Mac.unicast_failures;
     transmissions = Net.Channel.transmissions sim.channel;
+    invariant_violations =
+      (match sim.monitor with Some m -> Obs.Monitor.violations m | None -> 0);
   }

@@ -1,7 +1,8 @@
 (** Builds and runs one complete simulation from a {!Scenario.t}:
     mobility processes, radio channel, per-node MAC + routing agent,
-    CBR workload, metrics hooks, and (optionally) the loop-freedom
-    auditor. *)
+    CBR workload, metrics hooks, the observability bus, and
+    (optionally) the loop-freedom auditor, invariant monitor, JSONL
+    trace writer and time-series sampler. *)
 
 type outcome = {
   metrics : Metrics.t;
@@ -10,9 +11,9 @@ type outcome = {
   mac_queue_drops : int;  (** interface-queue overflows, all nodes *)
   mac_unicast_failures : int;  (** retry-limit link failures, all nodes *)
   transmissions : int;  (** every frame on the air, ACKs included *)
+  invariant_violations : int;
+      (** monitor verdict; 0 when no monitor was attached *)
 }
-
-val run : ?on_engine:(Sim.Engine.t -> unit) -> Scenario.t -> outcome
 
 (** A handle over a built-but-not-yet-run simulation, for tests and
     examples that need to inspect or intervene mid-run. *)
@@ -21,12 +22,60 @@ type sim = {
   agents : Routing.Agent.t array;
   macs : Net.Mac.t array;
   channel : Net.Channel.t;
+  bus : Obs.Bus.t;  (** the run's observability bus *)
   inject : src:int -> dst:int -> unit;
       (** originate one data packet now (unique uid per call) *)
   sim_metrics : Metrics.t;
   finalize : unit -> unit;  (** collect end-of-run gauges *)
+  mutable monitor : Obs.Monitor.t option;
+  mutable cleanup : (unit -> unit) list;
+      (** file closers etc., run by {!finish} *)
 }
 
-val build : ?on_engine:(Sim.Engine.t -> unit) -> Scenario.t -> sim
-(** Construct the simulation with its workload scheduled; the caller runs
-    the engine. *)
+val run :
+  ?on_engine:(Sim.Engine.t -> unit) ->
+  ?obs:Obs.Bus.t ->
+  ?monitor:bool ->
+  ?trace_out:string ->
+  ?sample:Sim.Time.t ->
+  ?sample_out:string ->
+  ?prepare:(sim -> unit) ->
+  Scenario.t ->
+  outcome
+(** Build, optionally instrument, run to completion and summarise.
+
+    [obs]: supply the observability bus (default: a fresh one —
+    disabled unless something below attaches a sink).
+    [monitor]: attach the continuous LDR invariant monitor.
+    [trace_out]: stream every bus event as JSONL to this file.
+    [sample]: write time-series gauges every [sample] of virtual time
+    to [sample_out] (default ["samples.jsonl"]).
+    [prepare]: runs on the built simulation just before the engine
+    starts — the hook for fault injection ({!Fault}) and custom sinks.
+
+    Trace and sample files are flushed and closed before returning.
+    The JSONL sink is attached {e before} the monitor, so a violation
+    line in the trace always follows the table write that caused
+    it. *)
+
+val build : ?on_engine:(Sim.Engine.t -> unit) -> ?obs:Obs.Bus.t ->
+  Scenario.t -> sim
+(** Construct the simulation with its workload scheduled; the caller
+    runs the engine.  When the ["manet"] trace source is enabled
+    ({!Trace.on}), a pretty-printing sink is attached to the bus. *)
+
+val attach_trace : sim -> string -> unit
+(** Open [path] and stream every subsequent bus event to it as JSONL;
+    closed by {!finish}. *)
+
+val attach_monitor : ?ring:int -> ?quiet:bool -> sim -> Obs.Monitor.t
+(** Attach the continuous invariant monitor, wired to the agents'
+    {!Routing.Agent.invariants}.  Also stored in [sim.monitor]. *)
+
+val attach_sampler : sim -> every:Sim.Time.t -> until:Sim.Time.t ->
+  string -> unit
+(** Schedule gauge sampling to a JSONL file; closed by {!finish}. *)
+
+val finish : sim -> unit
+(** Run [finalize] and every registered cleanup (idempotent on the
+    cleanup list).  {!run} calls this itself. *)

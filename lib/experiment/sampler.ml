@@ -1,0 +1,49 @@
+open Sim
+
+type state = { mutable last_t : Time.t; mutable last_ctl : int }
+
+let emit ~engine ~metrics ~channel ~macs ~(agents : Routing.Agent.t array) ~oc
+    st =
+  let now = Engine.now engine in
+  let stats = Engine.stats engine in
+  let ifq = Array.fold_left (fun acc m -> acc + Net.Mac.queue_length m) 0 macs in
+  let originated = Metrics.originated metrics in
+  let delivered = Metrics.delivered metrics in
+  let ratio =
+    if originated = 0 then 1. else float_of_int delivered /. float_of_int originated
+  in
+  let ctl = Metrics.control_transmissions metrics in
+  let dt = Time.to_sec (Time.diff now st.last_t) in
+  let ctl_rate =
+    if dt <= 0. then 0. else float_of_int (ctl - st.last_ctl) /. dt
+  in
+  st.last_t <- now;
+  st.last_ctl <- ctl;
+  let entries = ref 0 and finite = ref 0 and fd_sum = ref 0 in
+  Array.iter
+    (fun (a : Routing.Agent.t) ->
+      let e, f, s = a.route_stats () in
+      entries := !entries + e;
+      finite := !finite + f;
+      fd_sum := !fd_sum + s)
+    agents;
+  let n = Array.length agents in
+  let rt_mean = if n = 0 then 0. else float_of_int !entries /. float_of_int n in
+  let fd_mean =
+    if !finite = 0 then 0. else float_of_int !fd_sum /. float_of_int !finite
+  in
+  Printf.fprintf oc
+    "{\"t\":%d,\"pending\":%d,\"fired\":%d,\"inflight\":%d,\"ifq\":%d,\
+     \"originated\":%d,\"delivered\":%d,\"ratio\":%.4f,\"ctl_rate\":%.1f,\
+     \"rt_mean\":%.2f,\"fd_mean\":%.2f}\n"
+    (now :> int)
+    stats.Engine.pending stats.Engine.fired
+    (Net.Channel.in_flight channel)
+    ifq originated delivered ratio ctl_rate rt_mean fd_mean
+
+let attach ~engine ~metrics ~channel ~macs ~agents ~every ~until ~oc =
+  if Time.(every <= Time.zero) then
+    invalid_arg "Sampler.attach: interval must be positive";
+  let st = { last_t = Engine.now engine; last_ctl = 0 } in
+  Engine.every engine ~start:Time.zero ~interval:every ~until (fun () ->
+      emit ~engine ~metrics ~channel ~macs ~agents ~oc st)

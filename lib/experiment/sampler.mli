@@ -1,0 +1,26 @@
+(** Time-series gauge sampler.
+
+    Walks the live simulation at a fixed virtual-time interval and
+    writes one flat JSON object per sample: scheduler depth
+    ([Engine.stats]), frames in flight, total interface-queue
+    occupancy, cumulative originated/delivered and their ratio, the
+    control-transmission rate over the last interval (frames/s of
+    virtual time), and the mean route-table size and mean finite
+    feasible distance across nodes ({!Routing.Agent.route_stats}).
+
+    ["t"] is integer virtual nanoseconds, matching the JSONL event
+    trace so the two files join on time. *)
+
+val attach :
+  engine:Sim.Engine.t ->
+  metrics:Metrics.t ->
+  channel:Net.Channel.t ->
+  macs:Net.Mac.t array ->
+  agents:Routing.Agent.t array ->
+  every:Sim.Time.t ->
+  until:Sim.Time.t ->
+  oc:out_channel ->
+  unit
+(** Schedule sampling every [every] from time zero until [until].  The
+    caller owns [oc].  Raises [Invalid_argument] on a non-positive
+    interval. *)

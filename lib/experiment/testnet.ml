@@ -81,8 +81,9 @@ let make_ctx t i =
         Metrics.data_delivered t.net_metrics ~now:(Engine.now t.engine) msg);
     drop_data =
       (fun msg ~reason -> Metrics.data_dropped t.net_metrics msg ~reason);
-    event = (fun name -> Metrics.protocol_event t.net_metrics name);
+    event = (fun ?dst:_ name -> Metrics.protocol_event t.net_metrics name);
     table_changed = ignore;
+    obs = Obs.Bus.create ();
   }
 
 let null_agent =
@@ -94,6 +95,8 @@ let null_agent =
     start = ignore;
     successor = (fun _ -> None);
     own_seqno = (fun () -> 0.);
+    invariants = (fun _ -> None);
+    route_stats = (fun () -> (0, 0, 0));
   }
 
 let create_custom ~engine ~factories =

@@ -1,56 +1,30 @@
-open Packets
-
 let src = Logs.Src.create "manet" ~doc:"MANET simulator run trace"
 
 module Log = (val Logs.src_log src)
 
 let enable ?(out = Format.err_formatter) () =
-  let report _src _level ~over k msgf =
-    msgf (fun ?header:_ ?tags:_ fmt ->
-        Format.kfprintf
-          (fun f ->
-            Format.pp_print_newline f ();
-            over ();
-            k ())
-          out fmt)
+  (* Compose: trace lines go to [out], every other source keeps flowing
+     through whatever reporter was installed before us. *)
+  let previous = Logs.reporter () in
+  let report rsrc level ~over k msgf =
+    if rsrc == src then
+      msgf (fun ?header:_ ?tags:_ fmt ->
+          Format.kfprintf
+            (fun f ->
+              Format.pp_print_newline f ();
+              over ();
+              k ())
+            out fmt)
+    else previous.Logs.report rsrc level ~over k msgf
   in
   Logs.set_reporter { Logs.report };
   Logs.Src.set_level src (Some Logs.Debug)
 
-let stamp engine = Sim.Time.to_sec (Sim.Engine.now engine)
-
-(* Tracing sits on the per-transmission hot path; even a disabled
-   [Log.debug] allocates its message closure and walks the Logs
-   dispatch.  A level check first keeps the disabled case to one read. *)
+(* Rendering sits on the per-event hot path; even a disabled [Log.debug]
+   allocates its message closure and walks the Logs dispatch.  A level
+   check first keeps the disabled case to one read. *)
 let on () = Logs.Src.level src = Some Logs.Debug
 
-let transmit engine node frame =
+let obs_sink bus ev =
   if on () then
-    Log.debug (fun m ->
-        m "[%10.6f] %a TX %a" (stamp engine) Node_id.pp node Net.Frame.pp frame)
-
-let deliver engine node msg =
-  if on () then
-    Log.debug (fun m ->
-        m "[%10.6f] %a DELIVER %a (latency %.2f ms, %d hops)" (stamp engine)
-          Node_id.pp node Data_msg.pp msg
-          (Sim.Time.to_ms
-             (Sim.Time.diff (Sim.Engine.now engine) msg.Data_msg.origin_time))
-          msg.Data_msg.hops)
-
-let drop engine node msg ~reason =
-  if on () then
-    Log.debug (fun m ->
-        m "[%10.6f] %a DROP %a (%s)" (stamp engine) Node_id.pp node Data_msg.pp
-          msg reason)
-
-let link_failure engine node ~next_hop =
-  if on () then
-    Log.debug (fun m ->
-        m "[%10.6f] %a LINK-FAILURE to %a" (stamp engine) Node_id.pp node
-          Node_id.pp next_hop)
-
-let protocol_event engine node name =
-  if on () then
-    Log.debug (fun m ->
-        m "[%10.6f] %a EVENT %s" (stamp engine) Node_id.pp node name)
+    Log.debug (fun m -> m "%a" (Obs.Event.pp ~name:(Obs.Bus.name bus)) ev)

@@ -1,8 +1,9 @@
 (** Run tracing.
 
     Human-readable event traces at the node-stack boundaries — every
-    frame on the air, every delivery, drop and link failure — through the
-    {!Logs} library under the source ["manet"].  Disabled (and near-free)
+    frame on the air, every delivery, drop, table write and link
+    failure — rendered from the {!Obs} event bus through the {!Logs}
+    library under the source ["manet"].  Disabled (and near-free)
     unless a reporter is installed and the source's level allows
     [Debug]; {!enable} does both, as the CLI's [--trace] flag. *)
 
@@ -11,16 +12,23 @@ val src : Logs.src
 val enable : ?out:Format.formatter -> unit -> unit
 (** Install a reporter printing one line per event (simulation time,
     node, event) to [out] (default stderr) and set the source to
-    [Debug].  Intended for CLI / debugging use; replaces any existing
-    Logs reporter. *)
+    [Debug].
 
-val transmit : Sim.Engine.t -> Packets.Node_id.t -> Net.Frame.t -> unit
-val deliver : Sim.Engine.t -> Packets.Node_id.t -> Packets.Data_msg.t -> unit
+    The reporter {e composes} with whatever reporter is installed at
+    the time of the call: reports from the ["manet"] source are
+    formatted to [out], reports from every other source are forwarded
+    to the previous reporter unchanged.  An application can therefore
+    set up its own {!Logs} reporter first and still turn tracing on
+    without losing its logs.  (Calling [Logs.set_reporter] {e after}
+    [enable] replaces the trace reporter — re-run [enable] to layer it
+    back on top.) *)
 
-val drop :
-  Sim.Engine.t -> Packets.Node_id.t -> Packets.Data_msg.t -> reason:string -> unit
+val on : unit -> bool
+(** Whether the ["manet"] source is at [Debug] — the same check
+    {!obs_sink} performs per event; the runner uses it to decide
+    whether to attach the sink at all. *)
 
-val link_failure :
-  Sim.Engine.t -> Packets.Node_id.t -> next_hop:Packets.Node_id.t -> unit
-
-val protocol_event : Sim.Engine.t -> Packets.Node_id.t -> string -> unit
+val obs_sink : Obs.Bus.t -> Obs.Event.t -> unit
+(** A {!Obs.Bus} sink rendering each event as one log line.  Re-checks
+    {!on} per event, so attaching it while the source is silenced costs
+    one level read per event and prints nothing. *)

@@ -102,9 +102,10 @@ and t = {
   mutable tx_total : int;
   mutable job_pool : tx_job array;
   mutable job_free : int;  (* jobs [0, job_free) are free *)
+  obs : Obs.Bus.t;
 }
 
-let create ~engine ?(mode = Grid) ?max_speed ~params () =
+let create ~engine ?(mode = Grid) ?max_speed ?obs ~params () =
   {
     engine;
     params;
@@ -125,10 +126,15 @@ let create ~engine ?(mode = Grid) ?max_speed ~params () =
     tx_total = 0;
     job_pool = [||];
     job_free = 0;
+    obs = (match obs with Some b -> b | None -> Obs.Bus.create ());
   }
 
 let params t = t.params
 let mode t = t.mode
+let obs t = t.obs
+
+let frame_dst_int (f : Frame.t) =
+  match f.dst with Frame.Broadcast -> -1 | Frame.Unicast d -> Node_id.to_int d
 
 let attach t ~id ~position =
   let r =
@@ -275,6 +281,10 @@ let neighbors_in_range t r =
 let set_transmit_hook t f = t.hook <- f
 let transmissions t = t.tx_total
 
+(* Allocated jobs live in [job_pool.(job_free..)]; each is one
+   transmission still in the air. *)
+let in_flight t = Array.length t.job_pool - t.job_free
+
 let mark_busy r =
   let was = carrier_busy r in
   r.busy_count <- r.busy_count + 1;
@@ -304,6 +314,14 @@ let end_of_tx job =
       if r.current_rx == rx then r.current_rx <- no_rx;
       (* Starting to transmit mid-reception also kills it. *)
       if (not rx.corrupted) && r.tx_count = 0 then r.receive rx.rx_frame
+      else if Obs.Bus.on t.obs then
+        (* A locked frame the radio would have decoded, lost to an
+           overlapping transmission (or its own). *)
+        Obs.Bus.collision t.obs
+          ~time:(Engine.now t.engine)
+          ~node:(Node_id.to_int r.id)
+          ~cls:(Obs.Bus.intern t.obs (Frame.class_name rx.rx_frame))
+          ~from:(Node_id.to_int rx.rx_frame.Frame.src)
     end;
     rx.rx_frame <- dummy_frame;
     rx.rx_radio <- dummy_radio
@@ -314,6 +332,12 @@ let end_of_tx job =
 let transmit t src frame ~duration =
   t.tx_total <- t.tx_total + 1;
   t.hook src.id frame;
+  if Obs.Bus.on t.obs then
+    Obs.Bus.tx t.obs
+      ~time:(Engine.now t.engine)
+      ~node:(Node_id.to_int src.id)
+      ~cls:(Obs.Bus.intern t.obs (Frame.class_name frame))
+      ~dst:(frame_dst_int frame) ~bytes:(Frame.size_bytes frame);
   (* Touched radios are fixed at transmission start: node movement within
      one frame airtime (~2 ms) is a fraction of a millimetre.  Radios out
      to the carrier-sense range defer and suffer interference; only those

@@ -25,8 +25,11 @@ type mode =
   | Grid  (** spatial-hash query of the cells overlapping the CS disk *)
 
 val create :
-  engine:Sim.Engine.t -> ?mode:mode -> ?max_speed:float -> params:Params.t -> unit -> t
+  engine:Sim.Engine.t -> ?mode:mode -> ?max_speed:float -> ?obs:Obs.Bus.t ->
+  params:Params.t -> unit -> t
 (** [create ~engine ~params] builds a channel using the [Grid] index.
+    [obs] is the observability bus ({!Obs.Bus}) the channel (and the
+    MACs attached to it) emit on; defaults to a fresh disabled bus.
     [max_speed] is an upper bound (m/s) on any radio's speed: the grid is
     rebuilt only when bucketed positions may have drifted past a fixed
     margin, and queries are inflated by the current drift bound.  When
@@ -69,3 +72,12 @@ val set_transmit_hook : t -> (Node_id.t -> Frame.t -> unit) -> unit
 
 val transmissions : t -> int
 (** Total frames put on the air so far. *)
+
+val in_flight : t -> int
+(** Transmissions currently in the air. *)
+
+val obs : t -> Obs.Bus.t
+(** The channel's observability bus.  The channel emits [Tx] at every
+    transmission start and [Collision] for each locked-but-lost frame
+    at end of transmission; MACs share this bus for their rx/ifq
+    events. *)

@@ -11,6 +11,12 @@ let addressed_to t id =
 
 let is_ack t = match t.body with Ack -> true | Payload _ -> false
 
+let class_name t =
+  match t.body with Ack -> "ACK" | Payload p -> Payload.class_name p
+
+let size_bytes t =
+  match t.body with Ack -> 0 | Payload p -> Payload.size_bytes p
+
 let dst_equal a b =
   match (a, b) with
   | Broadcast, Broadcast -> true

@@ -10,6 +10,13 @@ type t = { src : Node_id.t; dst : dst; body : body }
 
 val addressed_to : t -> Node_id.t -> bool
 val is_ack : t -> bool
+
+val class_name : t -> string
+(** "ACK", "DATA" or the control kind — the trace label. *)
+
+val size_bytes : t -> int
+(** Payload bytes (0 for ACKs). *)
+
 val dst_equal : dst -> dst -> bool
 val pp_dst : Format.formatter -> dst -> unit
 val pp : Format.formatter -> t -> unit

@@ -43,7 +43,16 @@ type t = {
           instant) *)
   mutable failures : int;
   mutable sent : int;
+  obs : Obs.Bus.t;  (* shared with the channel *)
 }
+
+let emit_rx t payload ~from ~dst =
+  Obs.Bus.rx t.obs
+    ~time:(Engine.now t.engine)
+    ~node:(Node_id.to_int t.my_id)
+    ~cls:(Obs.Bus.intern t.obs (Payload.class_name payload))
+    ~from:(Node_id.to_int from)
+    ~dst:(match dst with Frame.Broadcast -> -1 | Frame.Unicast d -> Node_id.to_int d)
 
 let id t = t.my_id
 let queue_length t = Ifq.length t.queue
@@ -173,8 +182,11 @@ let on_frame t (f : Frame.t) =
   | Frame.Ack -> if Frame.addressed_to f t.my_id then ack_received t f.src
   | Frame.Payload payload -> (
       match f.dst with
-      | Frame.Broadcast -> t.cb.receive payload ~from:f.src
+      | Frame.Broadcast ->
+          if Obs.Bus.on t.obs then emit_rx t payload ~from:f.src ~dst:f.dst;
+          t.cb.receive payload ~from:f.src
       | Frame.Unicast d when Node_id.equal d t.my_id ->
+          if Obs.Bus.on t.obs then emit_rx t payload ~from:f.src ~dst:f.dst;
           send_ack t ~to_:f.src;
           t.cb.receive payload ~from:f.src
       | Frame.Unicast _ -> t.cb.promiscuous payload ~from:f.src ~dst:f.dst)
@@ -222,6 +234,7 @@ let create ~engine ~channel ~rng ~id ~position callbacks =
       ack_to = id;
       failures = 0;
       sent = 0;
+      obs = Channel.obs channel;
     }
   in
   Channel.set_receiver radio (on_frame t);
@@ -230,4 +243,13 @@ let create ~engine ~channel ~rng ~id ~position callbacks =
 
 let send t ~dst payload =
   let accepted = Ifq.push t.queue { payload; dst } in
+  if (not accepted) && Obs.Bus.on t.obs then
+    Obs.Bus.ifq_drop t.obs
+      ~time:(Engine.now t.engine)
+      ~node:(Node_id.to_int t.my_id)
+      ~cls:(Obs.Bus.intern t.obs (Payload.class_name payload))
+      ~dst:
+        (match dst with
+        | Frame.Broadcast -> -1
+        | Frame.Unicast d -> Node_id.to_int d);
   if accepted && t.phase = Idle && t.current = None then dequeue_next t

@@ -1,0 +1,65 @@
+(** The event bus: typed emit points fanned out to pluggable sinks.
+
+    A bus with no sinks is disabled; every emit site guards with
+    {!on} — a single array-header load — so a run without observers
+    pays one predictable branch per event and nothing else.  With
+    sinks attached, emission fills the bus's single scratch record
+    (zero allocation) and hands it to each sink in attach order.
+
+    Sinks receive a {b reused} record: copy it ({!Event.copy_into}) if
+    you retain it past the callback.  String-valued payloads are
+    interned: call sites pass {!intern} ids, sinks resolve them with
+    {!name}. *)
+
+type sink = Event.t -> unit
+
+type t
+
+val create : unit -> t
+(** A bus with no sinks — disabled until {!add_sink}. *)
+
+val on : t -> bool
+(** True when at least one sink is attached.  Emit sites must guard
+    with this before doing any argument preparation. *)
+
+val add_sink : t -> sink -> unit
+(** Sinks are called in attach order.  Order matters when one sink
+    reacts to another's events (attach file writers before the
+    invariant monitor so its violation events land after the
+    offending write in the trace). *)
+
+val intern : t -> string -> int
+val name : t -> int -> string
+(** Resolve an interned id; "?" for unknown ids. *)
+
+val dispatch : t -> Event.t -> unit
+(** Deliver a caller-owned event record to every sink.  Used by sinks
+    that generate events of their own (e.g. the monitor's violations) —
+    they must not reuse the bus's scratch record mid-dispatch. *)
+
+(** Typed emit helpers.  All take plain labeled ints (no options — an
+    optional int argument would box).  Call only under [on t]. *)
+
+val tx : t -> time:Sim.Time.t -> node:int -> cls:int -> dst:int -> bytes:int -> unit
+val rx : t -> time:Sim.Time.t -> node:int -> cls:int -> from:int -> dst:int -> unit
+val collision : t -> time:Sim.Time.t -> node:int -> cls:int -> from:int -> unit
+val ifq_drop : t -> time:Sim.Time.t -> node:int -> cls:int -> dst:int -> unit
+
+val deliver :
+  t -> time:Sim.Time.t -> node:int -> flow:int -> seq:int -> src:int ->
+  hops:int -> latency_ns:int -> unit
+
+val data_drop :
+  t -> time:Sim.Time.t -> node:int -> reason:int -> flow:int -> seq:int ->
+  src:int -> dst:int -> unit
+
+val link_failure : t -> time:Sim.Time.t -> node:int -> next_hop:int -> unit
+val proto : t -> time:Sim.Time.t -> node:int -> name:int -> dst:int -> unit
+
+val table_write :
+  t -> time:Sim.Time.t -> node:int -> dst:int -> old_succ:int ->
+  new_succ:int -> dist:int -> fd:int -> sn:int -> unit
+
+val violation :
+  t -> time:Sim.Time.t -> node:int -> dst:int -> succ:int -> own_sn:int ->
+  succ_sn:int -> own_fd:int -> succ_fd:int -> unit

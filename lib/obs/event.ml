@@ -1,0 +1,128 @@
+type kind =
+  | Tx
+  | Rx
+  | Collision
+  | Ifq_drop
+  | Deliver
+  | Data_drop
+  | Link_failure
+  | Proto
+  | Table_write
+  | Violation
+
+type t = {
+  mutable time : Sim.Time.t;
+  mutable node : int;
+  mutable kind : kind;
+  mutable a : int;
+  mutable b : int;
+  mutable c : int;
+  mutable d : int;
+  mutable e : int;
+  mutable f : int;
+}
+
+type inv = { i_sn : int; i_dist : int; i_fd : int }
+
+let make () =
+  {
+    time = Sim.Time.zero;
+    node = -1;
+    kind = Proto;
+    a = -1;
+    b = -1;
+    c = -1;
+    d = -1;
+    e = -1;
+    f = -1;
+  }
+
+let copy_into ~src ~dst =
+  dst.time <- src.time;
+  dst.node <- src.node;
+  dst.kind <- src.kind;
+  dst.a <- src.a;
+  dst.b <- src.b;
+  dst.c <- src.c;
+  dst.d <- src.d;
+  dst.e <- src.e;
+  dst.f <- src.f
+
+let kind_name = function
+  | Tx -> "tx"
+  | Rx -> "rx"
+  | Collision -> "col"
+  | Ifq_drop -> "ifq"
+  | Deliver -> "dlv"
+  | Data_drop -> "drop"
+  | Link_failure -> "lfail"
+  | Proto -> "evt"
+  | Table_write -> "rt"
+  | Violation -> "viol"
+
+let kind_of_name = function
+  | "tx" -> Some Tx
+  | "rx" -> Some Rx
+  | "col" -> Some Collision
+  | "ifq" -> Some Ifq_drop
+  | "dlv" -> Some Deliver
+  | "drop" -> Some Data_drop
+  | "lfail" -> Some Link_failure
+  | "evt" -> Some Proto
+  | "rt" -> Some Table_write
+  | "viol" -> Some Violation
+  | _ -> None
+
+let has_label = function
+  | Tx | Rx | Collision | Ifq_drop | Data_drop | Proto -> true
+  | Deliver | Link_failure | Table_write | Violation -> false
+
+(* Is this event part of the causal neighbourhood of destination [dst]?
+   The invariant monitor's ring-buffer dump and the trace analyzer's
+   violation-window query both use this predicate, so their outputs
+   coincide line for line. *)
+let relevant_to ~dst ev =
+  match ev.kind with
+  | Table_write | Violation -> ev.a = dst
+  | Proto -> ev.b = dst
+  | Data_drop -> ev.e = dst
+  | Link_failure -> true
+  | Tx | Rx | Collision | Ifq_drop | Deliver -> false
+
+(* Packed sequence numbers ([Seqnum.pack]): stamp in the high bits,
+   counter in the low 31. *)
+let pp_sn fmt sn =
+  if sn < 0 then Format.pp_print_string fmt "-"
+  else Format.fprintf fmt "%d.%d" (sn lsr 31) (sn land ((1 lsl 31) - 1))
+
+let pp_opt_node fmt n =
+  if n < 0 then Format.pp_print_string fmt "*" else Format.fprintf fmt "n%d" n
+
+let pp ~name fmt ev =
+  Format.fprintf fmt "[%10.6f] n%d " (Sim.Time.to_sec ev.time) ev.node;
+  match ev.kind with
+  | Tx ->
+      Format.fprintf fmt "TX %s -> %a (%d B)" (name ev.a) pp_opt_node ev.b ev.c
+  | Rx ->
+      Format.fprintf fmt "RX %s from n%d -> %a" (name ev.a) ev.b pp_opt_node
+        ev.c
+  | Collision -> Format.fprintf fmt "COLLISION %s from n%d" (name ev.a) ev.b
+  | Ifq_drop -> Format.fprintf fmt "IFQ-DROP %s -> %a" (name ev.a) pp_opt_node ev.b
+  | Deliver ->
+      Format.fprintf fmt "DELIVER flow %d seq %d from n%d (%d hops, %.2f ms)"
+        ev.a ev.b ev.c ev.d
+        (float_of_int ev.e /. 1e6)
+  | Data_drop ->
+      Format.fprintf fmt "DROP flow %d seq %d n%d -> n%d (%s)" ev.b ev.c ev.d
+        ev.e (name ev.a)
+  | Link_failure -> Format.fprintf fmt "LINK-FAILURE to n%d" ev.a
+  | Proto ->
+      Format.fprintf fmt "EVENT %s" (name ev.a);
+      if ev.b >= 0 then Format.fprintf fmt " dst n%d" ev.b
+  | Table_write ->
+      Format.fprintf fmt "RT dst n%d succ %a -> %a dist %d fd %d sn %a"
+        ev.a pp_opt_node ev.b pp_opt_node ev.c ev.d ev.e pp_sn ev.f
+  | Violation ->
+      Format.fprintf fmt
+        "VIOLATION dst n%d succ n%d: own sn %a fd %d, succ sn %a fd %d" ev.a
+        ev.b pp_sn ev.c ev.e pp_sn ev.d ev.f

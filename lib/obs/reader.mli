@@ -1,0 +1,30 @@
+(** Post-hoc trace analysis: load a JSONL trace ({!Jsonl}) and answer
+    the [manet_sim trace] queries.  All queries return rendered lines
+    (via {!Event.pp}, the same renderer the live sinks use), ready to
+    print. *)
+
+type t
+
+val load : string -> (t, string) result
+val length : t -> int
+
+val timeline : t -> node:int -> string list
+(** Every event at one node, in trace order. *)
+
+val flaps : t -> dst:int -> string list
+(** Successor changes toward one destination, plus a per-node count. *)
+
+val drop_report : ?bins:int -> t -> string list
+(** Data drops, interface-queue overflows and collisions bucketed over
+    [bins] equal time intervals (default 10). *)
+
+val violations : t -> int
+
+val violation_window : ?k:int -> t -> int -> (string * string list) option
+(** [violation_window t i] is the [i]th (0-based) violation line plus
+    the reconstruction of the monitor's ring dump: the last [k]
+    (default {!Monitor.default_ring}) raw events preceding it,
+    filtered by {!Event.relevant_to} for its destination. *)
+
+val summary : t -> string list
+(** Event totals by kind. *)

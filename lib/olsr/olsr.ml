@@ -428,4 +428,6 @@ let factory ?(config = default_config) () (ctx : RA.ctx) =
         if Node_id.equal dst ctx.id then None
         else Option.map fst (route_lookup t dst));
     own_seqno = (fun () -> 0.);
+    invariants = (fun _ -> None);
+    route_stats = (fun () -> (Node_id.Map.cardinal t.routes, 0, 0));
   }

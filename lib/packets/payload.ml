@@ -22,6 +22,14 @@ let classify = function
 
 let is_data t = match classify t with `Data _ -> true | `Control _ -> false
 
+(* [classify] without the payload: no allocation, for trace labels. *)
+let class_name = function
+  | Data _ | Dsr (Dsr_msg.Data _) -> "DATA"
+  | Ldr m -> Ldr_msg.kind m
+  | Aodv m -> Aodv_msg.kind m
+  | Dsr m -> Dsr_msg.kind m
+  | Olsr m -> Olsr_msg.kind m
+
 let pp fmt = function
   | Data d -> Data_msg.pp fmt d
   | Ldr m -> Ldr_msg.pp fmt m

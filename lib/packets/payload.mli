@@ -15,4 +15,9 @@ val classify : t -> [ `Data of Data_msg.t | `Control of string ]
     ("RREQ", "RREP", "RERR", "HELLO", "TC"). *)
 
 val is_data : t -> bool
+
+val class_name : t -> string
+(** The {!classify} bucket name without the payload — "DATA" or the
+    control kind — allocation-free, for trace labels. *)
+
 val pp : Format.formatter -> t -> unit

@@ -25,5 +25,11 @@ let increment ?(counter_limit = default_limit) ~now_stamp t =
   else { t with counter = t.counter + 1 }
 
 let increments t = t.counter
+
+(* Stamps are clock seconds and counters stay below [default_limit]
+   (2^30), so the pair packs into one non-negative immediate with the
+   stamp in the high bits — int comparison then matches [compare]. *)
+let pack t = (t.stamp lsl 31) lor t.counter
+
 let size_bytes = 8
 let pp fmt t = Format.fprintf fmt "%d.%d" t.stamp t.counter

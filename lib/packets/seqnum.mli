@@ -26,6 +26,13 @@ val increment : ?counter_limit:int -> now_stamp:int -> t -> t
     fresh [now_stamp], which must be strictly greater than the stored
     stamp for the result to remain increasing (asserted). *)
 
+val pack : t -> int
+(** Order-preserving pack to a single int: stamp in the high bits,
+    counter in the low 31.  Valid while the counter stays below 2^31
+    (the default {!increment} limit is 2^30); comparing packed values
+    with [Int.compare] agrees with {!compare}.  Used by the
+    observability layer, which carries invariants as plain ints. *)
+
 val increments : t -> int
 (** Total increments implied by [t] within its current stamp: the counter
     value.  Used by the Fig-7 metric (mean destination sequence number),

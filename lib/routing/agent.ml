@@ -7,8 +7,9 @@ type ctx = {
   send : dst:Net.Frame.dst -> Payload.t -> unit;
   deliver : Data_msg.t -> unit;
   drop_data : Data_msg.t -> reason:string -> unit;
-  event : string -> unit;
+  event : ?dst:Node_id.t -> string -> unit;
   table_changed : unit -> unit;
+  obs : Obs.Bus.t;
 }
 
 type t = {
@@ -19,6 +20,8 @@ type t = {
   start : unit -> unit;
   successor : Node_id.t -> Node_id.t option;
   own_seqno : unit -> float;
+  invariants : Node_id.t -> Obs.Event.inv option;
+  route_stats : unit -> int * int * int;
 }
 
 type factory = ctx -> t
@@ -31,6 +34,7 @@ let null_ctx ?(id = 0) engine =
     send = (fun ~dst:_ _ -> ());
     deliver = ignore;
     drop_data = (fun _ ~reason:_ -> ());
-    event = ignore;
+    event = (fun ?dst:_ _ -> ());
     table_changed = ignore;
+    obs = Obs.Bus.create ();
   }

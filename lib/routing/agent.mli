@@ -19,12 +19,17 @@ type ctx = {
       (** data arrived at its destination: hand to the application *)
   drop_data : Data_msg.t -> reason:string -> unit;
       (** data given up on (no route, buffer overflow, TTL...) *)
-  event : string -> unit;
+  event : ?dst:Node_id.t -> string -> unit;
       (** protocol-event counters for the paper's metrics, e.g.
-          "rreq_init", "rrep_init", "rrep_usable_recv" *)
+          "rreq_init", "rrep_init", "rrep_usable_recv"; [dst] is the
+          destination the event concerns, when there is one, and feeds
+          the observability bus's [Proto] events *)
   table_changed : unit -> unit;
       (** invoked after every routing-table write; hook for the
           loop-freedom auditor *)
+  obs : Obs.Bus.t;
+      (** the stack's observability bus; protocols may pass it to their
+          route tables so table writes are traced *)
 }
 
 type t = {
@@ -44,6 +49,15 @@ type t = {
       (** the node's own destination sequence number, as a float so that
           LDR (increment count) and AODV (integer value) are comparable —
           the Fig-7 metric *)
+  invariants : Node_id.t -> Obs.Event.inv option;
+      (** the (packed seqno, distance, feasible distance) triple this
+          node currently advertises for a destination, if the protocol
+          maintains them; drives the continuous invariant monitor.
+          Protocols without seqno/FD state return [None]. *)
+  route_stats : unit -> int * int * int;
+      (** [(entries, finite_fd_count, fd_sum)] over the route table —
+          gauges for the time-series sampler.  Protocols without
+          feasible distances report zeros for the last two. *)
 }
 
 type factory = ctx -> t

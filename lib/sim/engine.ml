@@ -293,6 +293,16 @@ let run ?until ?max_events t =
 
 let events_processed t = t.fired
 
+type stats = { pending : int; fired : int }
+
+let stats t =
+  let pending =
+    match t.sched with
+    | Heap q -> Event_queue.live_count q
+    | Cal q -> Calendar_queue.live_count q
+  in
+  { pending; fired = t.fired }
+
 (* Replay a recorded workload through a fresh engine with no-op
    callbacks: pure scheduler cost, on the public scheduling API each
    mode actually pays (the heap path wraps its closure, the calendar

@@ -85,6 +85,13 @@ val step : t -> bool
 
 val events_processed : t -> int
 
+type stats = { pending : int; fired : int }
+
+val stats : t -> stats
+(** Scheduler gauges: currently pending (scheduled, not yet fired or
+    cancelled) and total fired events.  O(1) under either scheduler;
+    the time-series sampler reads this each interval. *)
+
 (** Recorded scheduler workloads, for the engine benchmark: the exact
     schedule/cancel/pop op sequence of a run, replayable through either
     scheduler with no-op callbacks.  This isolates the engine hot path
