@@ -725,6 +725,179 @@ let obs_overhead ~scale:_ () =
   close_out oc;
   Printf.printf "  (wrote BENCH_obs.json)\n%!"
 
+(* ---- Parallel sweep: domain fan-out over the Fig-5 trial matrix --------- *)
+
+(* The tentpole scenario again (100 nodes, 30 flows — the costliest
+   figure), swept over the scale's pause times x seeds as one trial
+   matrix, at jobs = 1/2/4/8.  Every jobs value must aggregate to
+   bit-identical Welford statistics (the digest check below); the wall
+   clocks give the fan-out speedup.  Per-trial wall and GC figures are
+   measured inside the trial on its own domain — OCaml 5 GC counters
+   are per-domain, and one trial never migrates. *)
+
+let parallel_jobs = [ 1; 2; 4; 8 ]
+
+type parallel_run = {
+  pl_jobs : int;
+  pl_workers : int;  (* effective: jobs clamped to matrix size *)
+  pl_wall_s : float;
+  pl_digest : string;
+  pl_trial_mean_s : float;
+  pl_trial_min_s : float;
+  pl_trial_max_s : float;
+  pl_minor_words : float;  (* summed over trials *)
+  pl_promoted_words : float;
+}
+
+(* Full-precision rendering of every aggregate: any drift in count,
+   mean or variance of any field of any point shows up as a digest
+   mismatch. *)
+let point_digest (p : Sweep.point) =
+  let field w =
+    Printf.sprintf "%d:%.17g:%.17g" (Stats.Welford.count w)
+      (Stats.Welford.mean w) (Stats.Welford.variance w)
+  in
+  String.concat ";"
+    (List.map field
+       [
+         p.Sweep.delivery_ratio; p.Sweep.latency_ms; p.Sweep.network_load;
+         p.Sweep.rreq_load; p.Sweep.rrep_init; p.Sweep.rrep_recv;
+         p.Sweep.mean_dest_seqno;
+       ])
+
+let parallel_sweep ~scale () =
+  heading
+    "Parallel sweep: Fig-5 trial matrix fanned across domains (identical aggregates)";
+  let trials_n = Stdlib.max scale.trials 2 in
+  let base =
+    Scenario.paper_100 Scenario.ldr
+    |> Scenario.with_flows 30
+    |> Scenario.with_duration (Time.sec scale.duration)
+  in
+  let scs =
+    Array.of_list
+      (List.map
+         (fun pause -> Scenario.with_pause (Time.sec pause) base)
+         scale.pauses)
+  in
+  let npts = Array.length scs in
+  let n = npts * trials_n in
+  Printf.printf
+    "  matrix: %d pause times x %d seeds = %d trials (%g s each), %d core(s) recommended\n%!"
+    npts trials_n n scale.duration
+    (Experiment.Parallel.recommended_jobs ());
+  let trial k =
+    let sc = scs.(k / trials_n) in
+    let sc = { sc with Scenario.seed = sc.Scenario.seed + (k mod trials_n) } in
+    let m0 = Gc.minor_words () in
+    let p0 = (Gc.quick_stat ()).Gc.promoted_words in
+    let t0 = Unix.gettimeofday () in
+    let o = Runner.run sc in
+    let dt = Unix.gettimeofday () -. t0 in
+    ( o.Runner.summary,
+      dt,
+      Gc.minor_words () -. m0,
+      (Gc.quick_stat ()).Gc.promoted_words -. p0 )
+  in
+  let run_at jobs =
+    let t0 = Unix.gettimeofday () in
+    let results = Experiment.Parallel.map ~jobs n trial in
+    let wall = Unix.gettimeofday () -. t0 in
+    (* Merge in seed order exactly as Sweep.run does — completion order
+       must not matter. *)
+    let points =
+      List.init npts (fun pi ->
+          let p = Sweep.empty_point () in
+          for t = 0 to trials_n - 1 do
+            let s, _, _, _ = results.((pi * trials_n) + t) in
+            Sweep.add_summary p s
+          done;
+          p)
+    in
+    let walls = Array.map (fun (_, dt, _, _) -> dt) results in
+    let sum f = Array.fold_left (fun acc r -> acc +. f r) 0. results in
+    {
+      pl_jobs = jobs;
+      pl_workers = Stdlib.min jobs n;
+      pl_wall_s = wall;
+      pl_digest = String.concat "|" (List.map point_digest points);
+      pl_trial_mean_s =
+        Array.fold_left ( +. ) 0. walls /. float_of_int n;
+      pl_trial_min_s = Array.fold_left Stdlib.min infinity walls;
+      pl_trial_max_s = Array.fold_left Stdlib.max 0. walls;
+      pl_minor_words = sum (fun (_, _, m, _) -> m);
+      pl_promoted_words = sum (fun (_, _, _, p) -> p);
+    }
+  in
+  let runs = List.map run_at parallel_jobs in
+  let baseline = List.hd runs in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          string_of_int r.pl_jobs;
+          string_of_int r.pl_workers;
+          Printf.sprintf "%.3f" r.pl_wall_s;
+          Printf.sprintf "%.2fx" (baseline.pl_wall_s /. r.pl_wall_s);
+          (if r.pl_digest = baseline.pl_digest then "yes" else "NO");
+          Printf.sprintf "%.3f" r.pl_trial_mean_s;
+          Printf.sprintf "%.3f/%.3f" r.pl_trial_min_s r.pl_trial_max_s;
+          Printf.sprintf "%.2e" r.pl_minor_words;
+        ])
+      runs
+  in
+  List.iter
+    (fun r ->
+      if r.pl_digest <> baseline.pl_digest then
+        Printf.printf "  !! jobs=%d aggregates DIVERGE from jobs=1\n%!"
+          r.pl_jobs)
+    runs;
+  print_endline
+    (Stats.Table.render
+       ~header:
+         [ "jobs"; "workers"; "wall s"; "speedup"; "identical";
+           "trial mean s"; "trial min/max s"; "minor words" ]
+       rows);
+  if Experiment.Parallel.recommended_jobs () = 1 then
+    Printf.printf
+      "  note: this machine exposes 1 core; fan-out cannot beat 1.0x here.\n\
+      \  The >=2x-at-4-jobs target applies to multi-core (CI-class) hosts.\n%!";
+  let json_run r =
+    Printf.sprintf
+      "    { \"jobs\": %d, \"workers\": %d, \"wall_s\": %.4f, \"speedup\": \
+       %.2f, \"identical\": %b, \"trial_wall_mean_s\": %.4f, \
+       \"trial_wall_min_s\": %.4f, \"trial_wall_max_s\": %.4f, \
+       \"minor_words\": %.0f, \"promoted_words\": %.0f }"
+      r.pl_jobs r.pl_workers r.pl_wall_s
+      (baseline.pl_wall_s /. r.pl_wall_s)
+      (r.pl_digest = baseline.pl_digest)
+      r.pl_trial_mean_s r.pl_trial_min_s r.pl_trial_max_s r.pl_minor_words
+      r.pl_promoted_words
+  in
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        "  \"benchmark\": \"parallel-sweep\",";
+        Printf.sprintf
+          "  \"scenario\": \"fig5 sweep: LDR, 100 nodes, 30 flows, %d pause \
+           times x %d seeds, %g s simulated per trial\","
+          npts trials_n scale.duration;
+        Printf.sprintf "  \"recommended_domains\": %d,"
+          (Experiment.Parallel.recommended_jobs ());
+        Printf.sprintf "  \"trials\": %d," n;
+        "  \"runs\": [";
+        String.concat ",\n" (List.map json_run runs);
+        "  ]";
+        "}";
+      ]
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc json;
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  (wrote BENCH_parallel.json)\n%!"
+
 (* ---- Bechamel microbenchmarks: one Test.make per table/figure kernel ---- *)
 
 let kernel ~nodes ~flows protocol () =
@@ -791,6 +964,7 @@ let all_experiments =
     ("channel", channel_scaling);
     ("engine", engine_scaling);
     ("obs", obs_overhead);
+    ("parallel", parallel_sweep);
   ]
 
 let () =
@@ -817,7 +991,7 @@ let () =
           selected := !selected @ [ name ]
       | other ->
           Printf.eprintf
-            "unknown argument %S (expected: table1 fig2..fig7 ablation channel engine obs bechamel all --full --quick --csv=DIR)\n"
+            "unknown argument %S (expected: table1 fig2..fig7 ablation channel engine obs parallel bechamel all --full --quick --csv=DIR)\n"
             other;
           exit 2)
     args;

@@ -125,6 +125,15 @@ let inject_stale =
 let trials =
   Arg.(value & opt int 3 & info [ "trials" ] ~docv:"T" ~doc:"Trials per point (sweep).")
 
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Fan the sweep's (pause $(b,x) seed) trial matrix across $(docv) \
+           domains; per-seed results and aggregates are bit-identical to \
+           $(docv)=1.  0 = one worker per recommended core.")
+
 let pauses =
   Arg.(
     value
@@ -275,15 +284,23 @@ let run_cmd =
 
 let sweep_cmd =
   let action protocol nodes width height flows pps speed_max duration seed
-      trials pauses audit =
-    let rows =
+      trials pauses audit jobs =
+    (* The whole (pause x seed) matrix is one parallel batch; results
+       merge in seed order, so any --jobs value prints the same table. *)
+    let base =
+      scenario protocol nodes width height flows pps 0. speed_max duration
+        seed audit
+    in
+    let points =
       List.map
-        (fun pause ->
-          let sc =
-            scenario protocol nodes width height flows pps pause speed_max
-              duration seed audit
-          in
-          let p = Sweep.trials sc ~n:trials in
+        (fun pause (sc : Experiment.Scenario.t) ->
+          { sc with Experiment.Scenario.pause = Time.sec pause })
+        pauses
+    in
+    let series = Sweep.run ~jobs base ~points ~trials in
+    let rows =
+      List.map2
+        (fun pause (p : Sweep.point) ->
           [
             Printf.sprintf "%g" pause;
             Stats.Table.mean_ci
@@ -296,7 +313,7 @@ let sweep_cmd =
               ~mean:(Stats.Welford.mean p.Sweep.network_load)
               ~ci:(Stats.Welford.ci95 p.Sweep.network_load);
           ])
-        pauses
+        pauses series
     in
     print_endline
       (Stats.Table.render
@@ -306,10 +323,14 @@ let sweep_cmd =
   let term =
     Term.(
       const action $ protocol $ nodes $ width $ height $ flows $ pps
-      $ speed_max $ duration $ seed $ trials $ pauses $ audit)
+      $ speed_max $ duration $ seed $ trials $ pauses $ audit $ jobs)
   in
   Cmd.v
-    (Cmd.info "sweep" ~doc:"Sweep pause times and print a figure-style series.")
+    (Cmd.info "sweep"
+       ~doc:
+         "Sweep pause times and print a figure-style series.  With \
+          $(b,--jobs) N the trial matrix runs on N domains (0 = auto) with \
+          bit-identical output.")
     term
 
 let trace_cmd =

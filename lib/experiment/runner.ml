@@ -65,7 +65,14 @@ let build ?on_engine ?obs (sc : Scenario.t) =
      events are captured too. *)
   (match on_engine with Some f -> f engine | None -> ());
   let bus = match obs with Some b -> b | None -> Obs.Bus.create () in
-  if Trace.on () then Obs.Bus.add_sink bus (Trace.obs_sink bus);
+  (* The pretty trace sink renders through the process-global Logs
+     reporter onto one shared formatter; concurrent worker trials
+     attaching it would interleave lines and race the formatter's
+     buffer.  Everything else a trial touches (engine, RNG, metrics,
+     bus + intern table, audit scratch) is built per-sim below, so
+     worker-domain trials simply skip this one global observer. *)
+  if Trace.on () && not (Parallel.on_worker_domain ()) then
+    Obs.Bus.add_sink bus (Trace.obs_sink bus);
   let root = Engine.rng engine in
   let placement_rng = Rng.split root in
   let mobility_rng = Rng.split root in

@@ -62,7 +62,17 @@ val build : ?on_engine:(Sim.Engine.t -> unit) -> ?obs:Obs.Bus.t ->
   Scenario.t -> sim
 (** Construct the simulation with its workload scheduled; the caller
     runs the engine.  When the ["manet"] trace source is enabled
-    ({!Trace.on}), a pretty-printing sink is attached to the bus. *)
+    ({!Trace.on}), a pretty-printing sink is attached to the bus —
+    except on {!Parallel} worker domains, where the sink's global Logs
+    reporter and shared formatter would race across trials.
+
+    Every piece of mutable state a run touches is created here, per
+    simulation: engine + RNG streams, metrics, the observability bus
+    (with its intern table), the loop-audit scratch array.  Nothing is
+    shared across two [build]s, which is what makes trials safe to run
+    on concurrent domains (see [docs/PARALLELISM.md]).  The one
+    exception is an explicitly shared [?obs] bus: callers fanning
+    trials in parallel must not pass one. *)
 
 val attach_trace : sim -> string -> unit
 (** Open [path] and stream every subsequent bus event to it as JSONL;

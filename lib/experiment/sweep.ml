@@ -40,13 +40,42 @@ let merge_points a b =
     mean_dest_seqno = m a.mean_dest_seqno b.mean_dest_seqno;
   }
 
-let trials (sc : Scenario.t) ~n =
+(* The whole (parameter-point × seed) matrix fans through one
+   Parallel.map call, so a 3-point × 10-seed sweep keeps 8 workers busy
+   rather than parallelising 10 trials at a time.  Trial k runs point
+   [k / n] under seed [seed + k mod n]; results land at index k, so the
+   Welford accumulators below always fold in ascending-seed order per
+   point no matter which domain finished first — the aggregates are
+   bit-identical to the sequential path's. *)
+let run ?jobs (sc : Scenario.t) ~points ~trials:n =
+  if n <= 0 then invalid_arg "Sweep.run: trials must be >= 1";
+  let scs = Array.of_list (List.map (fun refine -> refine sc) points) in
+  let npoints = Array.length scs in
+  let outcomes =
+    Parallel.map ?jobs (npoints * n) (fun k ->
+        let sc : Scenario.t = scs.(k / n) in
+        Runner.run { sc with seed = sc.seed + (k mod n) })
+  in
+  List.init npoints (fun pi ->
+      let p = empty_point () in
+      for t = 0 to n - 1 do
+        add_summary p outcomes.((pi * n) + t).Runner.summary
+      done;
+      p)
+
+let trial_outcomes ?jobs (sc : Scenario.t) ~n =
+  if n <= 0 then invalid_arg "Sweep.trial_outcomes: n must be >= 1";
+  Parallel.map ?jobs n (fun i -> Runner.run { sc with seed = sc.seed + i })
+
+let trials ?jobs (sc : Scenario.t) ~n =
   let p = empty_point () in
-  for i = 0 to n - 1 do
-    let outcome = Runner.run { sc with seed = sc.seed + i } in
-    add_summary p outcome.summary
-  done;
+  Array.iter
+    (fun (o : Runner.outcome) -> add_summary p o.Runner.summary)
+    (trial_outcomes ?jobs sc ~n);
   p
 
-let pause_sweep (sc : Scenario.t) ~pauses ~trials:n =
-  List.map (fun pause -> (pause, trials { sc with pause } ~n)) pauses
+let pause_sweep ?jobs (sc : Scenario.t) ~pauses ~trials:n =
+  let points =
+    List.map (fun pause (s : Scenario.t) -> { s with pause }) pauses
+  in
+  List.combine pauses (run ?jobs sc ~points ~trials:n)

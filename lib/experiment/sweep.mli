@@ -1,5 +1,14 @@
 (** Multi-trial aggregation: the paper repeats every configuration for 10
-    random seeds and reports means with 95 % confidence intervals. *)
+    random seeds and reports means with 95 % confidence intervals.
+
+    Every entry point takes [?jobs] (default 1: run inline,
+    sequentially, exactly as before).  With [jobs > 1] the trial matrix
+    fans across that many domains via {!Parallel.map}; [jobs = 0] means
+    auto ({!Parallel.recommended_jobs}).  Each trial builds a fully
+    isolated simulation (own engine, RNG, metrics, observability bus),
+    and results are folded in ascending seed order regardless of
+    completion order, so per-seed outcomes and the aggregated Welford
+    statistics are bit-identical for every [jobs] value. *)
 
 type point = {
   delivery_ratio : Stats.Welford.t;
@@ -15,10 +24,32 @@ val empty_point : unit -> point
 val add_summary : point -> Metrics.summary -> unit
 val merge_points : point -> point -> point
 
-val trials : Scenario.t -> n:int -> point
+val run :
+  ?jobs:int ->
+  Scenario.t ->
+  points:(Scenario.t -> Scenario.t) list ->
+  trials:int ->
+  point list
+(** [run sc ~points ~trials] applies each refinement in [points] to
+    [sc] (one parameter point each — pause time, flow count, ...) and
+    runs every point for [trials] seeds [seed, seed+1, ...],
+    aggregating one {!point} per parameter point.  The full
+    (point × seed) matrix is one parallel batch, so workers stay busy
+    across point boundaries. *)
+
+val trial_outcomes : ?jobs:int -> Scenario.t -> n:int -> Runner.outcome array
+(** The raw per-seed outcomes of [n] trials under seeds
+    [seed, seed+1, ...], in seed order — the differential-conformance
+    tests compare these element-wise across [jobs] values. *)
+
+val trials : ?jobs:int -> Scenario.t -> n:int -> point
 (** Run the scenario [n] times under seeds [seed, seed+1, ...] and
     aggregate. *)
 
 val pause_sweep :
-  Scenario.t -> pauses:Sim.Time.t list -> trials:int -> (Sim.Time.t * point) list
+  ?jobs:int ->
+  Scenario.t ->
+  pauses:Sim.Time.t list ->
+  trials:int ->
+  (Sim.Time.t * point) list
 (** One aggregated point per pause time — a figure series. *)
