@@ -600,8 +600,11 @@ let engine_scaling ~scale:_ () =
    budget verdict combines the deterministic event-identity check with
    the recorded A/B overhead. *)
 
-let obs_baseline_events = 312_333
-let obs_baseline_wall_s = 1.241
+(* Re-baselined after the wire-codec layer: byte-true encodings change
+   every airtime (data +8 B, ACKs 0 -> 14 B, DSR/OLSR corrections), so
+   the event schedule — and the deterministic count — moved with it. *)
+let obs_baseline_events = 324_586
+let obs_baseline_wall_s = 1.630
 
 (* +0.35%: instrumented-vs-parent floor from the alternated A/B above. *)
 let obs_ab_overhead_pct = 0.35
@@ -898,6 +901,133 @@ let parallel_sweep ~scale () =
   close_out oc;
   Printf.printf "  (wrote BENCH_parallel.json)\n%!"
 
+(* ---- Wire codec: encode/decode throughput over the Fig-5 mix ------------ *)
+
+(* The packet population is not synthetic: a short Fig-5 run captures
+   its own transmissions through the pcap sink, and the bench times
+   [Frame.encode]/[Frame.decode] over exactly those frames — the same
+   class mix (DATA/ACK/RREQ/...) the simulator meters airtime for.
+   Decode includes the FCS verification, as on the hot trace path. *)
+
+let codec_duration_s = 20.
+
+let codec_bench ~scale:_ () =
+  heading "Wire codec: encode/decode throughput over a captured Fig-5 packet mix";
+  let sc =
+    Scenario.paper_100 Scenario.ldr
+    |> Scenario.with_flows 30
+    |> Scenario.with_pause (Time.sec 0.)
+    |> Scenario.with_duration (Time.sec codec_duration_s)
+  in
+  let pcap = Filename.temp_file "bench_codec" ".pcap" in
+  ignore (Runner.run ~pcap_out:pcap sc);
+  let records =
+    match Net.Pcap.load pcap with
+    | Ok r -> r
+    | Error msg -> failwith ("codec bench: cannot re-read capture: " ^ msg)
+  in
+  Sys.remove pcap;
+  let frames =
+    Array.of_list
+      (List.filter_map
+         (fun (r : Net.Pcap.record) -> Result.to_option r.Net.Pcap.r_frame)
+         records)
+  in
+  let n = Array.length frames in
+  if n = 0 then failwith "codec bench: empty capture";
+  let total_bytes =
+    Array.fold_left (fun acc f -> acc + Net.Frame.encoded_length f) 0 frames
+  in
+  let encoded =
+    Array.map
+      (fun f -> (Net.Frame.family f, f.Net.Frame.src, Net.Frame.encode f))
+      frames
+  in
+  (* Enough passes over the population for O(100 ms) timings. *)
+  let reps = Stdlib.max 1 (2_000_000 / n) in
+  let packets = reps * n in
+  let decode_errors = ref 0 in
+  let measure pass =
+    let m0 = Gc.minor_words () in
+    let wall, () = timed_run_f (fun () -> for _ = 1 to reps do pass () done) in
+    let minor = (Gc.minor_words () -. m0) /. 3. (* reps of timed_run_f *) in
+    (wall, minor /. float_of_int packets)
+  in
+  let enc_s, enc_minor =
+    measure (fun () ->
+        Array.iter (fun f -> ignore (Sys.opaque_identity (Net.Frame.encode f))) frames)
+  in
+  let dec_s, dec_minor =
+    measure (fun () ->
+        Array.iter
+          (fun (family, src, b) ->
+            match Net.Frame.decode ~family ~ack_src:src b with
+            | Ok _ -> ()
+            | Error _ -> incr decode_errors)
+          encoded)
+  in
+  if !decode_errors > 0 then
+    Printf.printf "  !! %d decode errors on a clean capture\n%!" !decode_errors;
+  let per_pkt_ns s = s /. float_of_int packets *. 1e9 in
+  let mb_per_s s = float_of_int (total_bytes * reps) /. s /. 1e6 in
+  let mix = Net.Pcap.class_counts records in
+  print_endline
+    (Stats.Table.render
+       ~header:[ "direction"; "ns/packet"; "MB/s"; "minor words/packet" ]
+       [
+         [
+           "encode";
+           Printf.sprintf "%.1f" (per_pkt_ns enc_s);
+           Printf.sprintf "%.1f" (mb_per_s enc_s);
+           Printf.sprintf "%.1f" enc_minor;
+         ];
+         [
+           "decode";
+           Printf.sprintf "%.1f" (per_pkt_ns dec_s);
+           Printf.sprintf "%.1f" (mb_per_s dec_s);
+           Printf.sprintf "%.1f" dec_minor;
+         ];
+       ]);
+  Printf.printf "  mix: %s\n%!"
+    (String.concat ", "
+       (List.map (fun (cls, (c, _)) -> Printf.sprintf "%s %d" cls c) mix));
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        "  \"benchmark\": \"wire-codec\",";
+        Printf.sprintf
+          "  \"scenario\": \"fig5-100n-30f-p0 capture, %g s simulated, seed 1\","
+          codec_duration_s;
+        Printf.sprintf "  \"packets\": %d," n;
+        Printf.sprintf "  \"on_air_bytes\": %d," total_bytes;
+        Printf.sprintf "  \"bench_passes\": %d," reps;
+        "  \"mix\": [";
+        String.concat ",\n"
+          (List.map
+             (fun (cls, (c, b)) ->
+               Printf.sprintf "    { \"class\": %S, \"count\": %d, \"bytes\": %d }"
+                 cls c b)
+             mix);
+        "  ],";
+        Printf.sprintf
+          "  \"encode\": { \"ns_per_packet\": %.1f, \"mb_per_s\": %.1f, \
+           \"minor_words_per_packet\": %.1f },"
+          (per_pkt_ns enc_s) (mb_per_s enc_s) enc_minor;
+        Printf.sprintf
+          "  \"decode\": { \"ns_per_packet\": %.1f, \"mb_per_s\": %.1f, \
+           \"minor_words_per_packet\": %.1f },"
+          (per_pkt_ns dec_s) (mb_per_s dec_s) dec_minor;
+        Printf.sprintf "  \"decode_errors\": %d" !decode_errors;
+        "}";
+      ]
+  in
+  let oc = open_out "BENCH_wire.json" in
+  output_string oc json;
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  (wrote BENCH_wire.json)\n%!"
+
 (* ---- Bechamel microbenchmarks: one Test.make per table/figure kernel ---- *)
 
 let kernel ~nodes ~flows protocol () =
@@ -965,6 +1095,7 @@ let all_experiments =
     ("engine", engine_scaling);
     ("obs", obs_overhead);
     ("parallel", parallel_sweep);
+    ("codec", codec_bench);
   ]
 
 let () =
@@ -991,7 +1122,7 @@ let () =
           selected := !selected @ [ name ]
       | other ->
           Printf.eprintf
-            "unknown argument %S (expected: table1 fig2..fig7 ablation channel engine obs parallel bechamel all --full --quick --csv=DIR)\n"
+            "unknown argument %S (expected: table1 fig2..fig7 ablation channel engine obs parallel codec bechamel all --full --quick --csv=DIR)\n"
             other;
           exit 2)
     args;

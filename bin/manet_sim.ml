@@ -88,6 +88,15 @@ let trace_out =
         ~doc:"Stream every observability event to $(docv) as JSONL \
               (analyse with $(b,manet_sim trace)).")
 
+let pcap_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "pcap" ] ~docv:"FILE"
+        ~doc:"Capture every transmitted frame, byte-exact with MAC \
+              framing and FCS, to $(docv) as pcap (open in Wireshark or \
+              analyse with $(b,manet_sim trace)).")
+
 let monitor =
   Arg.(
     value & flag
@@ -199,8 +208,11 @@ let print_outcome_json (o : Runner.outcome) =
     "{\"originated\":%d,\"delivered\":%d,\"duplicates\":%d,\
      \"delivery_ratio\":%s,\"mean_latency_ms\":%s,\"median_latency_ms\":%s,\
      \"p95_latency_ms\":%s,\"mean_hops\":%s,\"network_load\":%s,\
+     \"byte_load\":%s,\
      \"rreq_load\":%s,\"control_tx\":%d,\"control_by_kind\":{%s},\
-     \"data_tx\":%d,\"frames_on_air\":%d,\"ifq_drops\":%d,\
+     \"control_bytes\":%d,\"control_bytes_by_kind\":{%s},\
+     \"data_tx\":%d,\"data_bytes\":%d,\"ack_bytes\":%d,\
+     \"frames_on_air\":%d,\"ifq_drops\":%d,\
      \"link_failures\":%d,\"drops_by_reason\":{%s},\"mean_dest_seqno\":%s,\
      \"loop_violations\":%d,\"invariant_violations\":%d,\
      \"events_processed\":%d}\n"
@@ -211,11 +223,15 @@ let print_outcome_json (o : Runner.outcome) =
     (json_float (Metrics.p95_latency_ms m))
     (json_float (Metrics.mean_hops m))
     (json_float (Metrics.network_load m))
+    (json_float (Metrics.byte_load m))
     (json_float (Metrics.rreq_load m))
     (Metrics.control_transmissions m)
     (json_kind_counts (Metrics.control_by_kind m))
+    (Metrics.control_bytes m)
+    (json_kind_counts (Metrics.control_bytes_by_kind m))
     (Metrics.data_transmissions m)
-    o.transmissions o.mac_queue_drops o.mac_unicast_failures
+    (Metrics.data_bytes m) (Metrics.ack_bytes m) o.transmissions
+    o.mac_queue_drops o.mac_unicast_failures
     (json_kind_counts (Metrics.drops_by_reason m))
     (json_float (Metrics.mean_dest_seqno m))
     (Metrics.loop_violations m) o.invariant_violations o.events_processed
@@ -232,12 +248,23 @@ let print_outcome (o : Runner.outcome) =
   Format.printf "mean path length  %.2f hops@." (Metrics.mean_hops m);
   Format.printf "network load      %.3f control tx / delivered@."
     (Metrics.network_load m);
+  Format.printf "byte load         %.1f control B / delivered@."
+    (Metrics.byte_load m);
   Format.printf "rreq load         %.3f@." (Metrics.rreq_load m);
-  Format.printf "control tx        %d@." (Metrics.control_transmissions m);
+  Format.printf "control tx        %d (%d B on air)@."
+    (Metrics.control_transmissions m)
+    (Metrics.control_bytes m);
+  let bytes_by_kind = Metrics.control_bytes_by_kind m in
   List.iter
-    (fun (kind, count) -> Format.printf "  %-6s %d@." kind count)
+    (fun (kind, count) ->
+      let bytes =
+        match List.assoc_opt kind bytes_by_kind with Some b -> b | None -> 0
+      in
+      Format.printf "  %-6s %d (%d B)@." kind count bytes)
     (Metrics.control_by_kind m);
-  Format.printf "data tx (hopwise) %d@." (Metrics.data_transmissions m);
+  Format.printf "data tx (hopwise) %d (%d B on air)@."
+    (Metrics.data_transmissions m) (Metrics.data_bytes m);
+  Format.printf "ack bytes on air  %d@." (Metrics.ack_bytes m);
   Format.printf "frames on air     %d@." o.transmissions;
   Format.printf "ifq drops         %d@." o.mac_queue_drops;
   Format.printf "link failures     %d@." o.mac_unicast_failures;
@@ -251,7 +278,8 @@ let print_outcome (o : Runner.outcome) =
 
 let run_cmd =
   let action protocol nodes width height flows pps pause speed_max duration
-      seed audit trace json trace_out monitor sample sample_out inject_stale =
+      seed audit trace json trace_out pcap_out monitor sample sample_out
+      inject_stale =
     if trace then Trace.enable ();
     let sc =
       scenario protocol nodes width height flows pps pause speed_max duration
@@ -268,7 +296,7 @@ let run_cmd =
         inject_stale
     in
     let outcome =
-      Runner.run ~monitor ?trace_out
+      Runner.run ~monitor ?trace_out ?pcap_out
         ?sample:(Option.map Time.sec sample)
         ~sample_out ?prepare sc
     in
@@ -278,7 +306,7 @@ let run_cmd =
     Term.(
       const action $ protocol $ nodes $ width $ height $ flows $ pps $ pause
       $ speed_max $ duration $ seed $ audit $ trace $ json $ trace_out
-      $ monitor $ sample $ sample_out $ inject_stale)
+      $ pcap_out $ monitor $ sample $ sample_out $ inject_stale)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one scenario and print its metrics.") term
 
@@ -312,12 +340,15 @@ let sweep_cmd =
             Stats.Table.mean_ci
               ~mean:(Stats.Welford.mean p.Sweep.network_load)
               ~ci:(Stats.Welford.ci95 p.Sweep.network_load);
+            Stats.Table.mean_ci
+              ~mean:(Stats.Welford.mean p.Sweep.byte_load)
+              ~ci:(Stats.Welford.ci95 p.Sweep.byte_load);
           ])
         pauses series
     in
     print_endline
       (Stats.Table.render
-         ~header:[ "pause s"; "delivery"; "latency ms"; "net load" ]
+         ~header:[ "pause s"; "delivery"; "latency ms"; "net load"; "ctl B/pkt" ]
          rows)
   in
   let term =
@@ -338,7 +369,9 @@ let trace_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"FILE" ~doc:"JSONL trace written by $(b,--trace-out).")
+      & info [] ~docv:"FILE"
+          ~doc:"JSONL trace written by $(b,--trace-out), or a pcap \
+                capture written by $(b,--pcap) (detected by magic).")
   in
   let node =
     Arg.(
@@ -376,7 +409,60 @@ let trace_cmd =
           ~doc:"Window size for $(b,--violations) (default: the monitor's \
                 ring capacity).")
   in
-  let action file node dst drops violations k =
+  let classes =
+    Arg.(
+      value & flag
+      & info [ "classes" ]
+          ~doc:"Print one line per traffic class — $(i,CLASS COUNT BYTES) \
+                — from the file's transmissions.  The same run's JSONL \
+                trace and pcap capture print identical tables.")
+  in
+  let print_class_counts counts =
+    List.iter
+      (fun (cls, (count, bytes)) -> Printf.printf "%s %d %d\n" cls count bytes)
+      counts
+  in
+  let pcap_action file classes =
+    match Net.Pcap.load file with
+    | Error e ->
+        prerr_endline e;
+        Stdlib.exit 1
+    | Ok records ->
+        if classes then print_class_counts (Net.Pcap.class_counts records)
+        else begin
+          let n = List.length records in
+          let undecodable =
+            List.filter
+              (fun r -> Result.is_error r.Net.Pcap.r_frame)
+              records
+          in
+          let bytes =
+            List.fold_left (fun acc r -> acc + r.Net.Pcap.r_len) 0 records
+          in
+          Printf.printf "%d frames, %d bytes on air\n" n bytes;
+          (match (records, List.rev records) with
+          | first :: _, last :: _ ->
+              Printf.printf "span %.6f .. %.6f s\n"
+                (Time.to_sec first.Net.Pcap.r_time)
+                (Time.to_sec last.Net.Pcap.r_time)
+          | _ -> ());
+          List.iter
+            (fun (cls, (count, b)) ->
+              Printf.printf "  %-6s %d (%d B)\n" cls count b)
+            (Net.Pcap.class_counts records);
+          match undecodable with
+          | [] -> ()
+          | r :: _ ->
+              Printf.printf "%d undecodable frame(s), first: %s\n"
+                (List.length undecodable)
+                (match r.Net.Pcap.r_frame with
+                | Error e -> Wire.error_to_string e
+                | Ok _ -> assert false)
+        end
+  in
+  let action file node dst drops violations k classes =
+    if Net.Pcap.is_pcap_file file then pcap_action file classes
+    else
     match Obs.Reader.load file with
     | Error e ->
         prerr_endline e;
@@ -387,6 +473,11 @@ let trace_cmd =
           printed := true;
           List.iter print_endline lines
         in
+        if classes then section
+          (List.map
+             (fun (cls, (count, bytes)) ->
+               Printf.sprintf "%s %d %d" cls count bytes)
+             (Obs.Reader.tx_class_counts t));
         (match node with
         | Some n -> section (Obs.Reader.timeline t ~node:n)
         | None -> ());
@@ -410,14 +501,15 @@ let trace_cmd =
         if not !printed then section (Obs.Reader.summary t)
   in
   let term =
-    Term.(const action $ file $ node $ dst $ drops $ violations $ k)
+    Term.(
+      const action $ file $ node $ dst $ drops $ violations $ k $ classes)
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
-         "Analyse a JSONL trace: per-node timelines, route flaps, drop \
-          breakdowns and violation windows.  With no query flags, prints \
-          event totals by kind.")
+         "Analyse a JSONL trace (per-node timelines, route flaps, drop \
+          breakdowns, violation windows) or a pcap capture (per-class \
+          transmission counts).  With no query flags, prints totals.")
     term
 
 let () =

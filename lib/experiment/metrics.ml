@@ -9,8 +9,11 @@ type t = {
   hop_count : Stats.Welford.t;
   seen : (int, unit) Hashtbl.t;  (* delivered uids, packed *)
   control_tx : (string, int ref) Hashtbl.t;
+  control_bytes : (string, int ref) Hashtbl.t;
   mutable data_tx : int;
   mutable ack_tx : int;
+  mutable data_bytes : int;
+  mutable ack_bytes : int;
   events : (string, int ref) Hashtbl.t;
   drops : (string, int ref) Hashtbl.t;
   mutable loop_violations : int;
@@ -27,8 +30,11 @@ let create () =
     hop_count = Stats.Welford.create ();
     seen = Hashtbl.create 4096;
     control_tx = Hashtbl.create 8;
+    control_bytes = Hashtbl.create 8;
     data_tx = 0;
     ack_tx = 0;
+    data_bytes = 0;
+    ack_bytes = 0;
     events = Hashtbl.create 8;
     drops = Hashtbl.create 8;
     loop_violations = 0;
@@ -39,6 +45,11 @@ let bump tbl key =
   match Hashtbl.find_opt tbl key with
   | Some r -> incr r
   | None -> Hashtbl.replace tbl key (ref 1)
+
+let bump_by tbl key n =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace tbl key (ref n)
 
 let data_originated t _msg = t.originated <- t.originated + 1
 
@@ -64,12 +75,19 @@ let data_delivered t ~now msg =
 let data_dropped t _msg ~reason = bump t.drops reason
 
 let transmitted t (f : Net.Frame.t) =
+  let bytes = Net.Frame.encoded_length f in
   match f.body with
-  | Net.Frame.Ack -> t.ack_tx <- t.ack_tx + 1
+  | Net.Frame.Ack ->
+      t.ack_tx <- t.ack_tx + 1;
+      t.ack_bytes <- t.ack_bytes + bytes
   | Net.Frame.Payload p -> (
       match Payload.classify p with
-      | `Data _ -> t.data_tx <- t.data_tx + 1
-      | `Control kind -> bump t.control_tx kind)
+      | `Data _ ->
+          t.data_tx <- t.data_tx + 1;
+          t.data_bytes <- t.data_bytes + bytes
+      | `Control kind ->
+          bump t.control_tx kind;
+          bump_by t.control_bytes kind bytes)
 
 let protocol_event t name = bump t.events name
 let loop_violation t = t.loop_violations <- t.loop_violations + 1
@@ -97,10 +115,21 @@ let control_transmissions t =
 
 let data_transmissions t = t.data_tx
 
+let control_bytes_by_kind t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.control_bytes []
+  |> List.sort compare
+
+let control_bytes t =
+  Hashtbl.fold (fun _ r acc -> acc + !r) t.control_bytes 0
+
+let data_bytes t = t.data_bytes
+let ack_bytes t = t.ack_bytes
+
 let per_delivered t count =
   if t.delivered = 0 then 0. else float_of_int count /. float_of_int t.delivered
 
 let network_load t = per_delivered t (control_transmissions t)
+let byte_load t = per_delivered t (control_bytes t)
 
 let rreq_load t =
   per_delivered t
@@ -126,6 +155,7 @@ type summary = {
   s_delivery_ratio : float;
   s_latency_ms : float;
   s_network_load : float;
+  s_byte_load : float;
   s_rreq_load : float;
   s_rrep_init : float;
   s_rrep_recv : float;
@@ -137,6 +167,7 @@ let summary t =
     s_delivery_ratio = delivery_ratio t;
     s_latency_ms = mean_latency_ms t;
     s_network_load = network_load t;
+    s_byte_load = byte_load t;
     s_rreq_load = rreq_load t;
     s_rrep_init = rrep_init_per_rreq t;
     s_rrep_recv = rrep_recv_per_rreq t;

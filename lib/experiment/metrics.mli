@@ -42,8 +42,21 @@ val control_transmissions : t -> int
 
 val control_by_kind : t -> (string * int) list
 val data_transmissions : t -> int
+
+val control_bytes : t -> int
+(** Total control octets put on the air, MAC framing included —
+    byte-accurate from {!Net.Frame.encoded_length}. *)
+
+val control_bytes_by_kind : t -> (string * int) list
+val data_bytes : t -> int
+val ack_bytes : t -> int
+
 val network_load : t -> float
 (** Control transmissions per received data packet. *)
+
+val byte_load : t -> float
+(** Control octets per received data packet (the byte-true counterpart
+    of {!network_load}). *)
 
 val rreq_load : t -> float
 val rrep_init_per_rreq : t -> float
@@ -57,6 +70,7 @@ type summary = {
   s_delivery_ratio : float;
   s_latency_ms : float;
   s_network_load : float;
+  s_byte_load : float;
   s_rreq_load : float;
   s_rrep_init : float;
   s_rrep_recv : float;

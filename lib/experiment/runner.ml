@@ -84,7 +84,7 @@ let build ?on_engine ?obs (sc : Scenario.t) =
       ~max_speed:(Float.max sc.speed_max 0.)
       ~obs:bus ~params:sc.net ()
   in
-  Net.Channel.set_transmit_hook channel (fun _src frame ->
+  Net.Channel.add_transmit_hook channel (fun _src frame ->
       Metrics.transmitted metrics frame);
   let n = sc.num_nodes in
   let agents : Routing.Agent.t array =
@@ -223,6 +223,12 @@ let attach_trace sim path =
   Obs.Bus.add_sink sim.bus (Obs.Jsonl.sink sim.bus oc);
   sim.cleanup <- (fun () -> close_out oc) :: sim.cleanup
 
+let attach_pcap sim path =
+  let sink = Net.Pcap.open_sink path in
+  Net.Channel.add_transmit_hook sim.channel (fun _src frame ->
+      Net.Pcap.write sink ~time:(Engine.now sim.engine) frame);
+  sim.cleanup <- (fun () -> Net.Pcap.close sink) :: sim.cleanup
+
 let attach_monitor ?ring ?quiet sim =
   let lookup ~node ~dst =
     sim.agents.(node).Routing.Agent.invariants (Node_id.of_int dst)
@@ -243,8 +249,8 @@ let finish sim =
   List.iter (fun f -> f ()) sim.cleanup;
   sim.cleanup <- []
 
-let run ?on_engine ?obs ?monitor ?trace_out ?sample ?sample_out ?prepare
-    (sc : Scenario.t) =
+let run ?on_engine ?obs ?monitor ?trace_out ?pcap_out ?sample ?sample_out
+    ?prepare (sc : Scenario.t) =
   let sim = build ?on_engine ?obs sc in
   (* Let in-flight packets (and their latency) resolve briefly after the
      last origination. *)
@@ -253,6 +259,7 @@ let run ?on_engine ?obs ?monitor ?trace_out ?sample ?sample_out ?prepare
   (* File sinks before the monitor, so a violation's ring dump and the
      trace file agree on what precedes the violation line. *)
   (match trace_out with Some path -> attach_trace sim path | None -> ());
+  (match pcap_out with Some path -> attach_pcap sim path | None -> ());
   if monitor = Some true then ignore (attach_monitor sim);
   (match sample with
   | Some every ->

@@ -37,6 +37,7 @@ val run :
   ?obs:Obs.Bus.t ->
   ?monitor:bool ->
   ?trace_out:string ->
+  ?pcap_out:string ->
   ?sample:Sim.Time.t ->
   ?sample_out:string ->
   ?prepare:(sim -> unit) ->
@@ -48,6 +49,8 @@ val run :
     disabled unless something below attaches a sink).
     [monitor]: attach the continuous LDR invariant monitor.
     [trace_out]: stream every bus event as JSONL to this file.
+    [pcap_out]: capture every transmitted frame, byte-exact, to this
+    pcap file ({!Net.Pcap}).
     [sample]: write time-series gauges every [sample] of virtual time
     to [sample_out] (default ["samples.jsonl"]).
     [prepare]: runs on the built simulation just before the engine
@@ -77,6 +80,11 @@ val build : ?on_engine:(Sim.Engine.t -> unit) -> ?obs:Obs.Bus.t ->
 val attach_trace : sim -> string -> unit
 (** Open [path] and stream every subsequent bus event to it as JSONL;
     closed by {!finish}. *)
+
+val attach_pcap : sim -> string -> unit
+(** Open [path] and capture every transmitted frame to it as pcap
+    ({!Net.Pcap.write} from a channel transmit hook); closed by
+    {!finish}. *)
 
 val attach_monitor : ?ring:int -> ?quiet:bool -> sim -> Obs.Monitor.t
 (** Attach the continuous invariant monitor, wired to the agents'

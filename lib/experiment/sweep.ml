@@ -2,6 +2,7 @@ type point = {
   delivery_ratio : Stats.Welford.t;
   latency_ms : Stats.Welford.t;
   network_load : Stats.Welford.t;
+  byte_load : Stats.Welford.t;
   rreq_load : Stats.Welford.t;
   rrep_init : Stats.Welford.t;
   rrep_recv : Stats.Welford.t;
@@ -13,6 +14,7 @@ let empty_point () =
     delivery_ratio = Stats.Welford.create ();
     latency_ms = Stats.Welford.create ();
     network_load = Stats.Welford.create ();
+    byte_load = Stats.Welford.create ();
     rreq_load = Stats.Welford.create ();
     rrep_init = Stats.Welford.create ();
     rrep_recv = Stats.Welford.create ();
@@ -23,6 +25,7 @@ let add_summary p (s : Metrics.summary) =
   Stats.Welford.add p.delivery_ratio s.s_delivery_ratio;
   Stats.Welford.add p.latency_ms s.s_latency_ms;
   Stats.Welford.add p.network_load s.s_network_load;
+  Stats.Welford.add p.byte_load s.s_byte_load;
   Stats.Welford.add p.rreq_load s.s_rreq_load;
   Stats.Welford.add p.rrep_init s.s_rrep_init;
   Stats.Welford.add p.rrep_recv s.s_rrep_recv;
@@ -34,6 +37,7 @@ let merge_points a b =
     delivery_ratio = m a.delivery_ratio b.delivery_ratio;
     latency_ms = m a.latency_ms b.latency_ms;
     network_load = m a.network_load b.network_load;
+    byte_load = m a.byte_load b.byte_load;
     rreq_load = m a.rreq_load b.rreq_load;
     rrep_init = m a.rrep_init b.rrep_init;
     rrep_recv = m a.rrep_recv b.rrep_recv;

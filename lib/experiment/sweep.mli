@@ -14,6 +14,7 @@ type point = {
   delivery_ratio : Stats.Welford.t;
   latency_ms : Stats.Welford.t;
   network_load : Stats.Welford.t;
+  byte_load : Stats.Welford.t;
   rreq_load : Stats.Welford.t;
   rrep_init : Stats.Welford.t;
   rrep_recv : Stats.Welford.t;

@@ -98,7 +98,7 @@ and t = {
   grid : radio Geom.Grid.t;
   mutable grid_built_at : Time.t;
   mutable grid_fresh : bool;
-  mutable hook : Node_id.t -> Frame.t -> unit;
+  mutable hooks : (Node_id.t -> Frame.t -> unit) list;
   mutable tx_total : int;
   mutable job_pool : tx_job array;
   mutable job_free : int;  (* jobs [0, job_free) are free *)
@@ -122,7 +122,7 @@ let create ~engine ?(mode = Grid) ?max_speed ?obs ~params () =
     grid = Geom.Grid.create ~cell:(params.Params.cs_range_m /. 2.);
     grid_built_at = Time.zero;
     grid_fresh = false;
-    hook = (fun _ _ -> ());
+    hooks = [];
     tx_total = 0;
     job_pool = [||];
     job_free = 0;
@@ -278,7 +278,7 @@ let neighbors_in_range t r =
           then acc := ins_radio other !acc);
       List.map (fun o -> o.id) !acc
 
-let set_transmit_hook t f = t.hook <- f
+let add_transmit_hook t f = t.hooks <- t.hooks @ [ f ]
 let transmissions t = t.tx_total
 
 (* Allocated jobs live in [job_pool.(job_free..)]; each is one
@@ -331,13 +331,13 @@ let end_of_tx job =
 
 let transmit t src frame ~duration =
   t.tx_total <- t.tx_total + 1;
-  t.hook src.id frame;
+  List.iter (fun hook -> hook src.id frame) t.hooks;
   if Obs.Bus.on t.obs then
     Obs.Bus.tx t.obs
       ~time:(Engine.now t.engine)
       ~node:(Node_id.to_int src.id)
       ~cls:(Obs.Bus.intern t.obs (Frame.class_name frame))
-      ~dst:(frame_dst_int frame) ~bytes:(Frame.size_bytes frame);
+      ~dst:(frame_dst_int frame) ~bytes:(Frame.encoded_length frame);
   (* Touched radios are fixed at transmission start: node movement within
      one frame airtime (~2 ms) is a fraction of a millimetre.  Radios out
      to the carrier-sense range defer and suffer interference; only those

@@ -67,8 +67,9 @@ val neighbors_in_range : t -> radio -> Node_id.t list
 (** Radios currently within range — used by tests and topology audits,
     not by protocols. *)
 
-val set_transmit_hook : t -> (Node_id.t -> Frame.t -> unit) -> unit
-(** Metrics tap invoked at the start of every transmission. *)
+val add_transmit_hook : t -> (Node_id.t -> Frame.t -> unit) -> unit
+(** Register a tap invoked at the start of every transmission (metrics,
+    pcap export, ...).  Hooks run in registration order. *)
 
 val transmissions : t -> int
 (** Total frames put on the air so far. *)

@@ -14,8 +14,26 @@ val is_ack : t -> bool
 val class_name : t -> string
 (** "ACK", "DATA" or the control kind — the trace label. *)
 
-val size_bytes : t -> int
-(** Payload bytes (0 for ACKs). *)
+val family : t -> int
+(** The wire family selecting the payload parser
+    ({!Wire.Payload.family}; 0 for ACKs). *)
+
+val encoded_length : t -> int
+(** Total on-air bytes: the 14-byte 802.11 ACK, or the 30-byte 4-address
+    MAC header + payload encoding + 4-byte FCS.  Airtime, traced bytes
+    and metrics all derive from this. *)
+
+val encode : t -> bytes
+(** The frame exactly as transmitted, CRC-32 FCS included;
+    [Bytes.length (encode t) = encoded_length t]. *)
+
+val decode :
+  family:int -> ack_src:Node_id.t -> bytes -> (t, Wire.error) result
+(** Total inverse of {!encode}.  [family] selects the payload parser (it
+    travels out of band, e.g. in the pcap pseudo-header); [ack_src]
+    supplies the transmitter for ACK frames, which — like real 802.11
+    ACKs — carry only the receiver address.  Any truncation or bit flip
+    fails the FCS and returns [Error _]; decoding never raises. *)
 
 val dst_equal : dst -> dst -> bool
 val pp_dst : Format.formatter -> dst -> unit

@@ -64,9 +64,8 @@ let radio t = t.radio
 let payload_frame t pending =
   { Frame.src = t.my_id; dst = pending.dst; body = Frame.Payload pending.payload }
 
-let frame_duration t pending =
-  Params.data_airtime t.params
-    ~payload_bytes:(Payload.size_bytes pending.payload)
+let frame_duration t frame =
+  Params.frame_airtime t.params ~bytes:(Frame.encoded_length frame)
 
 let rec dequeue_next t =
   assert (t.current = None);
@@ -107,8 +106,9 @@ and do_transmit t =
   | Some p ->
       t.phase <- Sending;
       t.sent <- t.sent + 1;
-      let duration = frame_duration t p in
-      Channel.transmit t.channel t.radio (payload_frame t p) ~duration;
+      let frame = payload_frame t p in
+      let duration = frame_duration t frame in
+      Channel.transmit t.channel t.radio frame ~duration;
       ignore (Engine.after_fn t.engine duration tx_done t)
 
 (* [t.current] is pinned while Sending/Await_ack — only [finish] and

@@ -29,16 +29,18 @@ let default =
     difs = Time.us 50.;
     cw_min = 31;
     cw_max = 1023;
-    mac_overhead_bytes = 34;
-    ack_bytes = 14;
+    mac_overhead_bytes = Wire.Mac.data_overhead;
+    ack_bytes = Wire.Mac.ack_bytes;
     retry_limit = 7;
     ifq_capacity = 50;
   }
 
 let bytes_airtime t bytes = Time.sec (float_of_int (bytes * 8) /. t.bit_rate)
 
+let frame_airtime t ~bytes = Time.add t.preamble (bytes_airtime t bytes)
+
 let data_airtime t ~payload_bytes =
-  Time.add t.preamble (bytes_airtime t (payload_bytes + t.mac_overhead_bytes))
+  frame_airtime t ~bytes:(payload_bytes + t.mac_overhead_bytes)
 
 let ack_airtime t = Time.add t.preamble (bytes_airtime t t.ack_bytes)
 

@@ -31,8 +31,13 @@ type t = {
 
 val default : t
 
+val frame_airtime : t -> bytes:int -> Sim.Time.t
+(** Airtime of [bytes] total on-air octets (preamble + serialization) —
+    feed it {!Frame.encoded_length}. *)
+
 val data_airtime : t -> payload_bytes:int -> Sim.Time.t
-(** Airtime of a data frame carrying [payload_bytes] of network payload. *)
+(** Airtime of a data frame carrying [payload_bytes] of network payload;
+    [frame_airtime] on [payload_bytes + mac_overhead_bytes]. *)
 
 val ack_airtime : t -> Sim.Time.t
 

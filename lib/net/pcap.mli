@@ -1,0 +1,50 @@
+(** Pcap export and offline reader for channel transmissions.
+
+    Files use the nanosecond-resolution pcap magic and linktype
+    DLT_USER0 (147).  Each packet is a 20-byte pseudo-header —
+    [time_ns u64] [src u32] [dst u32, 0xFFFFFFFF = broadcast]
+    [family u8] [3 zero octets] — followed by the frame exactly as
+    transmitted ({!Frame.encode}), so captures open in Wireshark and
+    every octet that occupied airtime is on disk. *)
+
+val magic : int
+(** 0xA1B23C4D — pcap with nanosecond timestamps, written big-endian. *)
+
+val linktype : int
+val pseudo_header_bytes : int
+
+(** {1 Writing} *)
+
+type sink
+
+val open_sink : string -> sink
+(** Creates/truncates the file and writes the global header. *)
+
+val write : sink -> time:Sim.Time.t -> Frame.t -> unit
+val close : sink -> unit
+
+(** {1 Reading} *)
+
+type record = {
+  r_time : Sim.Time.t;
+  r_src : Packets.Node_id.t;
+  r_dst : Frame.dst;
+  r_family : int;
+  r_len : int;  (** on-air frame bytes (excluding the pseudo-header) *)
+  r_frame : (Frame.t, Wire.error) result;
+      (** decoded frame; [Error _] on corrupt captures *)
+}
+
+val is_pcap_file : string -> bool
+(** True when the file starts with {!magic} (our byte order). *)
+
+val load : string -> (record list, string) result
+(** Parses a capture written by {!write}; [Error _] describes the first
+    structural problem (bad magic, truncated record, pseudo-header
+    mismatch).  Frame-level decode failures are per-record, in
+    [r_frame]. *)
+
+val class_counts : record list -> (string * (int * int)) list
+(** Per traffic class (frame [class_name], or "UNDECODABLE"):
+    [(count, total on-air bytes)], sorted by class name — directly
+    comparable with the JSONL trace's transmission counts. *)

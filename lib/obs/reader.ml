@@ -65,6 +65,21 @@ let render t ev = Format.asprintf "%a" (Event.pp ~name:(Bus.name t.bus)) ev
 
 (* ---- Queries ----------------------------------------------------------- *)
 
+let tx_class_counts t =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun (ev : Event.t) ->
+      if ev.kind = Event.Tx then begin
+        let cls = Bus.name t.bus ev.a in
+        let count, bytes =
+          match Hashtbl.find_opt tbl cls with Some c -> c | None -> (0, 0)
+        in
+        Hashtbl.replace tbl cls (count + 1, bytes + ev.c)
+      end)
+    t.events;
+  Hashtbl.fold (fun cls c acc -> (cls, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let timeline t ~node =
   Array.to_list t.events
   |> List.filter (fun (ev : Event.t) -> ev.node = node)

@@ -8,6 +8,11 @@ type t
 val load : string -> (t, string) result
 val length : t -> int
 
+val tx_class_counts : t -> (string * (int * int)) list
+(** Per traffic class: [(transmissions, total on-air bytes)] from the
+    trace's TX events, sorted by class name — directly comparable with
+    {!Net.Pcap.class_counts} over the same run's capture. *)
+
 val timeline : t -> node:int -> string list
 (** Every event at one node, in trace order. *)
 

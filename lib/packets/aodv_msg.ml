@@ -20,12 +20,6 @@ type rerr = { unreachable : (Node_id.t * int) list }
 
 type t = Rreq of rreq | Rrep of rrep | Rerr of rerr
 
-(* RFC 3561 wire formats. *)
-let size_bytes = function
-  | Rreq _ -> 24
-  | Rrep _ -> 20
-  | Rerr { unreachable } -> 4 + (List.length unreachable * 8)
-
 let kind = function Rreq _ -> "RREQ" | Rrep _ -> "RREP" | Rerr _ -> "RERR"
 
 let pp fmt = function

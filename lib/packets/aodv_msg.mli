@@ -23,6 +23,5 @@ type rerr = { unreachable : (Node_id.t * int) list }
 
 type t = Rreq of rreq | Rrep of rrep | Rerr of rerr
 
-val size_bytes : t -> int
 val kind : t -> string
 val pp : Format.formatter -> t -> unit

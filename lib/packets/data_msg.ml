@@ -18,10 +18,6 @@ let hop t = { t with hops = t.hops + 1 }
 let uid t = (t.flow_id, t.seq)
 let decr_ttl t = if t.ttl <= 1 then None else Some { t with ttl = t.ttl - 1 }
 
-let ip_header = 20
-
-let size_bytes t = t.payload_bytes + ip_header
-
 let pp fmt t =
   Format.fprintf fmt "data[f%d#%d %a->%a]" t.flow_id t.seq Node_id.pp t.src
     Node_id.pp t.dst

@@ -32,7 +32,4 @@ val uid : t -> int * int
 val decr_ttl : t -> t option
 (** [None] when the hop budget is exhausted. *)
 
-val size_bytes : t -> int
-(** Payload plus a 20-byte IP header. *)
-
 val pp : Format.formatter -> t -> unit

@@ -30,16 +30,6 @@ type t =
       salvage : int;
     }
 
-let addr = 4
-
-(* DSR option formats: fixed option header plus one address per hop. *)
-let size_bytes = function
-  | Rreq r -> 12 + (addr * List.length r.route)
-  | Rrep { rrep; _ } -> 12 + (addr * List.length rrep.full_route)
-  | Rerr _ -> 20
-  | Data { full_route; data; _ } ->
-      Data_msg.size_bytes data + 8 + (addr * List.length full_route)
-
 let kind = function
   | Rreq _ -> "RREQ"
   | Rrep _ -> "RREP"

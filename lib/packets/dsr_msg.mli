@@ -38,7 +38,6 @@ type t =
       salvage : int;  (** times this packet has been salvaged *)
     }
 
-val size_bytes : t -> int
 val kind : t -> string
 (** "RREQ" | "RREP" | "RERR" | "DATA". *)
 

@@ -27,20 +27,6 @@ type rerr = { unreachable : (Node_id.t * Seqnum.t option) list }
 
 type t = Rreq of rreq | Rrep of rrep | Rerr of rerr
 
-(* Sizes mirror the AODV message layouts (the paper bases LDR's messaging
-   on AODV) plus LDR's extra fields: 8-byte labeled sequence numbers
-   instead of 4-byte ones, and the fd / answer_dist words in the RREQ. *)
-let size_bytes = function
-  | Rreq _ ->
-      (* type/flags/ttl 4 + rreq_id 4 + dst 4 + dst_sn 8 + origin 4
-         + origin_sn 8 + fd 4 + answer_dist 4 + dist 4 *)
-      44
-  | Rrep _ ->
-      (* type/flags 4 + dst 4 + dst_sn 8 + origin 4 + rreq_id 4 + dist 4
-         + lifetime 4 *)
-      32
-  | Rerr { unreachable } -> 4 + (List.length unreachable * 12)
-
 let kind = function Rreq _ -> "RREQ" | Rrep _ -> "RREP" | Rerr _ -> "RERR"
 
 let pp fmt = function

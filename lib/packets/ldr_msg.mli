@@ -37,7 +37,6 @@ type rerr = { unreachable : (Node_id.t * Seqnum.t option) list }
 
 type t = Rreq of rreq | Rrep of rrep | Rerr of rerr
 
-val size_bytes : t -> int
 val kind : t -> string
 (** "RREQ" | "RREP" | "RERR" — metrics bucket. *)
 

@@ -8,12 +8,6 @@ type t =
   | Hello of hello
   | Tc of { origin : Node_id.t; msg_seq : int; ttl : int; tc : tc }
 
-(* RFC 3626: 16-byte packet+message headers, 4 bytes per listed address
-   (with link-code blocks approximated into the per-address cost). *)
-let size_bytes = function
-  | Hello { neighbors } -> 16 + (List.length neighbors * 8)
-  | Tc { tc; _ } -> 20 + (List.length tc.advertised * 4)
-
 let kind = function Hello _ -> "HELLO" | Tc _ -> "TC"
 
 let pp_kind fmt = function

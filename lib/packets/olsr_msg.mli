@@ -18,7 +18,6 @@ type t =
   | Tc of { origin : Node_id.t; msg_seq : int; ttl : int; tc : tc }
       (** flooding envelope: duplicate set keyed by (origin, msg_seq) *)
 
-val size_bytes : t -> int
 val kind : t -> string
 (** "HELLO" | "TC". *)
 

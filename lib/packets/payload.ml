@@ -5,13 +5,6 @@ type t =
   | Dsr of Dsr_msg.t
   | Olsr of Olsr_msg.t
 
-let size_bytes = function
-  | Data d -> Data_msg.size_bytes d
-  | Ldr m -> Ldr_msg.size_bytes m
-  | Aodv m -> Aodv_msg.size_bytes m
-  | Dsr m -> Dsr_msg.size_bytes m
-  | Olsr m -> Olsr_msg.size_bytes m
-
 let classify = function
   | Data d -> `Data d
   | Dsr (Dsr_msg.Data { data; _ }) -> `Data data

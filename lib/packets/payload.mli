@@ -7,8 +7,6 @@ type t =
   | Dsr of Dsr_msg.t  (** includes DSR's source-routed data *)
   | Olsr of Olsr_msg.t
 
-val size_bytes : t -> int
-
 val classify : t -> [ `Data of Data_msg.t | `Control of string ]
 (** Data packets (including data inside DSR source-route headers) vs
     control packets labelled with their metrics bucket

@@ -31,5 +31,4 @@ let increments t = t.counter
    stamp in the high bits — int comparison then matches [compare]. *)
 let pack t = (t.stamp lsl 31) lor t.counter
 
-let size_bytes = 8
 let pp fmt t = Format.fprintf fmt "%d.%d" t.stamp t.counter

@@ -38,7 +38,4 @@ val increments : t -> int
     value.  Used by the Fig-7 metric (mean destination sequence number),
     which for LDR counts how often destinations had to bump. *)
 
-val size_bytes : int
-(** Wire size: 4-byte stamp + 4-byte counter. *)
-
 val pp : Format.formatter -> t -> unit

@@ -177,7 +177,7 @@ let carrier_sense_defers () =
 let transmit_hook_counts () =
   let engine, channel, nodes = rig [ v 0. 0.; v 100. 0. ] in
   let count = ref 0 in
-  Net.Channel.set_transmit_hook channel (fun _ _ -> incr count);
+  Net.Channel.add_transmit_hook channel (fun _ _ -> incr count);
   Net.Mac.send nodes.(0).mac ~dst:(Net.Frame.Unicast (n 1))
     (data_payload ~src:0 ~dst:1 ());
   Engine.run ~until:(Time.ms 100.) engine;

@@ -92,7 +92,7 @@ let data_sizes () =
     Data_msg.fresh ~flow_id:1 ~seq:2 ~src:(n 0) ~dst:(n 1) ~payload_bytes:512
       ~origin_time:Sim.Time.zero
   in
-  checki "512B + IP header" 532 (Data_msg.size_bytes msg);
+  checki "512B + data header" 540 (Wire.Data.encoded_length msg);
   checkb "uid" true (Data_msg.uid msg = (1, 2));
   checki "fresh has full ttl" Data_msg.default_ttl msg.Data_msg.ttl;
   checki "fresh has zero hops" 0 msg.Data_msg.hops;
@@ -120,7 +120,7 @@ let ldr_sizes () =
         unicast_probe = false;
       }
   in
-  checki "rreq" 44 (Ldr_msg.size_bytes rreq);
+  checki "rreq" 44 (Wire.Ldr.encoded_length rreq);
   Alcotest.check Alcotest.string "kind" "RREQ" (Ldr_msg.kind rreq);
   let rrep =
     Ldr_msg.Rrep
@@ -134,9 +134,9 @@ let ldr_sizes () =
         rrep_no_reverse = false;
       }
   in
-  checki "rrep" 32 (Ldr_msg.size_bytes rrep);
+  checki "rrep" 32 (Wire.Ldr.encoded_length rrep);
   let rerr = Ldr_msg.Rerr { unreachable = [ (n 1, None); (n 2, None) ] } in
-  checki "rerr grows with dests" (4 + 24) (Ldr_msg.size_bytes rerr);
+  checki "rerr grows with dests" (4 + 24) (Wire.Ldr.encoded_length rerr);
   Alcotest.check Alcotest.string "rerr kind" "RERR" (Ldr_msg.kind rerr)
 
 let aodv_sizes () =
@@ -145,19 +145,20 @@ let aodv_sizes () =
       { dst = n 1; dst_sn = None; rreq_id = 1; origin = n 0; origin_sn = 1;
         hop_count = 0; ttl = 5 }
   in
-  checki "rreq rfc3561" 24 (Aodv_msg.size_bytes rreq);
+  checki "rreq rfc3561" 24 (Wire.Aodv.encoded_length rreq);
   let rrep =
     Aodv_msg.Rrep
       { dst = n 1; dst_sn = 3; origin = n 0; hop_count = 2; lifetime = Sim.Time.sec 3. }
   in
-  checki "rrep rfc3561" 20 (Aodv_msg.size_bytes rrep);
-  checki "rerr" 12 (Aodv_msg.size_bytes (Aodv_msg.Rerr { unreachable = [ (n 1, 2) ] }))
+  checki "rrep rfc3561" 20 (Wire.Aodv.encoded_length rrep);
+  checki "rerr" 12
+    (Wire.Aodv.encoded_length (Aodv_msg.Rerr { unreachable = [ (n 1, 2) ] }))
 
 let dsr_sizes () =
   let rreq =
     Dsr_msg.Rreq { origin = n 0; dst = n 5; rreq_id = 1; route = [ n 1; n 2 ]; ttl = 5 }
   in
-  checki "rreq grows with route" (12 + 8) (Dsr_msg.size_bytes rreq);
+  checki "rreq grows with route" (16 + 8) (Wire.Dsr.encoded_length rreq);
   let data =
     Dsr_msg.Data
       {
@@ -169,19 +170,21 @@ let dsr_sizes () =
         salvage = 0;
       }
   in
-  (* payload + IP + SR option header + 4 addresses *)
-  checki "source-routed data" (532 + 8 + 16) (Dsr_msg.size_bytes data);
+  (* DSR fixed header + SR option + 4 addresses + data header + payload *)
+  checki "source-routed data" (8 + 16 + 540) (Wire.Dsr.encoded_length data);
   Alcotest.check Alcotest.string "data is DATA" "DATA" (Dsr_msg.kind data)
 
 let olsr_sizes () =
   let hello = Olsr_msg.Hello { neighbors = [ (n 1, Olsr_msg.Sym); (n 2, Olsr_msg.Mpr) ] } in
-  checki "hello" (16 + 16) (Olsr_msg.size_bytes hello);
+  (* packet + message header + hello header, then one link-code block
+     per populated neighbor kind *)
+  checki "hello" (20 + 8 + 8) (Wire.Olsr.encoded_length hello);
   let tc =
     Olsr_msg.Tc
       { origin = n 0; msg_seq = 1; ttl = 255;
         tc = { tc_origin = n 0; ansn = 1; advertised = [ n 1; n 2; n 3 ] } }
   in
-  checki "tc" (20 + 12) (Olsr_msg.size_bytes tc);
+  checki "tc" (20 + 12) (Wire.Olsr.encoded_length tc);
   Alcotest.check Alcotest.string "tc kind" "TC" (Olsr_msg.kind tc)
 
 let payload_classify () =
