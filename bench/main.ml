@@ -28,7 +28,14 @@ let default_scale = { duration = 120.; trials = 2; pauses = [ 0.; 120.; 900. ] }
 let quick_scale = { duration = 30.; trials = 1; pauses = [ 0.; 900. ] }
 
 let protocols =
-  [ Scenario.ldr; Scenario.aodv; Scenario.dsr; Scenario.olsr ]
+  [
+    Scenario.ldr;
+    Scenario.ldr_agg;
+    Scenario.aodv;
+    Scenario.aodv_agg;
+    Scenario.dsr;
+    Scenario.olsr;
+  ]
 
 let scenario_for ~scale ~nodes ~flows protocol =
   let base =
@@ -242,6 +249,191 @@ let ablation ~scale () =
     (Stats.Table.render
        ~header:[ "variant"; "delivery"; "latency ms"; "net load"; "rreq load" ]
        rows)
+
+(* ---- Aggregation: RREQ batching / suppression / RREP fan-out ------------ *)
+
+(* Per-seed [Runner.run ~monitor:true] — {!Sweep} never arms the
+   invariant monitor, and the whole point of this table is showing the
+   loop-freedom monitor stays silent while the aggregation layer
+   rewrites and fans out RREPs.  Alongside the paper's metrics it
+   accumulates the layer's own event counters. *)
+
+type agg_row = {
+  ar_point : Sweep.point;
+  ar_suppressed : int;
+  ar_aggregated : int;
+  ar_fanout : int;
+  ar_violations : int;
+}
+
+let monitored_point ~scale ~nodes ~flows ~pause protocol =
+  let sc =
+    scenario_for ~scale ~nodes ~flows protocol
+    |> Scenario.with_pause (Time.sec pause)
+  in
+  let p = Sweep.empty_point () in
+  let suppressed = ref 0 and aggregated = ref 0 in
+  let fanout = ref 0 and violations = ref 0 in
+  for i = 0 to scale.trials - 1 do
+    let o =
+      Runner.run ~monitor:true (Scenario.with_seed (sc.Scenario.seed + i) sc)
+    in
+    Sweep.add_summary p o.Runner.summary;
+    let count = Metrics.event_count o.Runner.metrics in
+    suppressed := !suppressed + count "rreq_suppressed";
+    aggregated := !aggregated + count "rreq_aggregated";
+    fanout := !fanout + count "rrep_fanout";
+    violations := !violations + o.Runner.invariant_violations
+  done;
+  {
+    ar_point = p;
+    ar_suppressed = !suppressed;
+    ar_aggregated = !aggregated;
+    ar_fanout = !fanout;
+    ar_violations = !violations;
+  }
+
+let aggregation ~scale () =
+  heading
+    "Aggregation: stock vs aggregated request floods (50 nodes, pause 0, monitor armed)";
+  List.iter
+    (fun flows ->
+      Printf.printf "\n-- %d flows --\n" flows;
+      let per_run c = Printf.sprintf "%.1f" (float_of_int c /. float_of_int scale.trials) in
+      let rows =
+        List.map
+          (fun protocol ->
+            let r = monitored_point ~scale ~nodes:50 ~flows ~pause:0. protocol in
+            [
+              Scenario.protocol_name protocol;
+              fmt_ci r.ar_point.Sweep.delivery_ratio;
+              fmt_ci r.ar_point.Sweep.latency_ms;
+              fmt_ci r.ar_point.Sweep.network_load;
+              fmt_ci r.ar_point.Sweep.rreq_load;
+              per_run r.ar_suppressed;
+              per_run r.ar_aggregated;
+              per_run r.ar_fanout;
+              string_of_int r.ar_violations;
+            ])
+          [ Scenario.ldr; Scenario.ldr_agg; Scenario.aodv; Scenario.aodv_agg ]
+      in
+      print_endline
+        (Stats.Table.render
+           ~header:
+             [ "protocol"; "delivery"; "latency ms"; "net load"; "rreq load";
+               "suppr/run"; "piggyb/run"; "fanout/run"; "monitor viol" ]
+           rows))
+    [ 10; 30; 100 ]
+
+(* ---- Discovery: floods per delivered packet, before/after the fixes ----- *)
+
+(* The pre-fix ring-search behaviour is emulated where configuration
+   can reach it: TIMEOUT_BUFFER = 0 reproduces the premature-retry bug
+   (the per-attempt timer expiring with zero slack, so in-flight RREPs
+   lose the race against the next flood).  The old [next_ttl] threshold
+   overshoot (TTL 7 -> 9 -> ... instead of the RFC's jump to
+   NET_DIAMETER) is not config-reachable post-fix; its effect is folded
+   into the post-fix schedule these rows measure. *)
+
+type discovery_row = {
+  dr_label : string;
+  dr_floods : float;  (* rreq_init per delivered data packet *)
+  dr_rreq_tx : float;  (* hop-wise RREQ transmissions per delivered *)
+  dr_delivery : float;
+  dr_latency_ms : float;
+}
+
+let discovery_bench_json rows =
+  let row r =
+    Printf.sprintf
+      "    { \"variant\": %S, \"floods_per_delivered\": %.4f, \
+       \"rreq_tx_per_delivered\": %.4f, \"delivery\": %.4f, \
+       \"latency_ms\": %.2f }"
+      r.dr_label r.dr_floods r.dr_rreq_tx r.dr_delivery r.dr_latency_ms
+  in
+  String.concat "\n"
+    [
+      "{";
+      "  \"benchmark\": \"discovery\",";
+      "  \"scenario\": \"50 nodes, 30 flows, pause 0\",";
+      "  \"note\": \"pre-fix variants emulate the shipped timeout bug via \
+       TIMEOUT_BUFFER = 0; the next_ttl threshold-overshoot bug is not \
+       config-reachable after the fix\",";
+      "  \"rows\": [";
+      String.concat ",\n" (List.map row rows);
+      "  ]";
+      "}";
+    ]
+
+let discovery ~scale () =
+  heading
+    "Discovery: route-request floods per delivered packet (50 nodes, 30 flows, pause 0)";
+  let pre_ring = { Routing.Discovery.default with timeout_buffer = 0 } in
+  let variants =
+    [
+      ("LDR pre-fix timeouts",
+       Scenario.Ldr { Ldr.Config.default with ring = pre_ring });
+      ("LDR", Scenario.ldr);
+      ("LDR-AGG", Scenario.ldr_agg);
+      ("AODV pre-fix timeouts",
+       Scenario.Aodv { Aodv.default_config with ring = pre_ring });
+      ("AODV", Scenario.aodv);
+      ("AODV-AGG", Scenario.aodv_agg);
+    ]
+  in
+  let results =
+    List.map
+      (fun (label, protocol) ->
+        let sc =
+          scenario_for ~scale ~nodes:50 ~flows:30 protocol
+          |> Scenario.with_pause (Time.sec 0.)
+        in
+        let floods = ref 0 and rreq_tx = ref 0 and delivered = ref 0 in
+        let delivery = Stats.Welford.create () in
+        let latency = Stats.Welford.create () in
+        for i = 0 to scale.trials - 1 do
+          let o = Runner.run (Scenario.with_seed (sc.Scenario.seed + i) sc) in
+          floods := !floods + Metrics.event_count o.Runner.metrics "rreq_init";
+          rreq_tx :=
+            !rreq_tx
+            + (try List.assoc "RREQ" (Metrics.control_by_kind o.Runner.metrics)
+               with Not_found -> 0);
+          delivered := !delivered + Metrics.delivered o.Runner.metrics;
+          Stats.Welford.add delivery o.Runner.summary.Metrics.s_delivery_ratio;
+          Stats.Welford.add latency o.Runner.summary.Metrics.s_latency_ms
+        done;
+        let per_delivered c =
+          if !delivered = 0 then 0. else float_of_int c /. float_of_int !delivered
+        in
+        {
+          dr_label = label;
+          dr_floods = per_delivered !floods;
+          dr_rreq_tx = per_delivered !rreq_tx;
+          dr_delivery = Stats.Welford.mean delivery;
+          dr_latency_ms = Stats.Welford.mean latency;
+        })
+      variants
+  in
+  print_endline
+    (Stats.Table.render
+       ~header:
+         [ "variant"; "floods/delivered"; "rreq tx/delivered"; "delivery";
+           "latency ms" ]
+       (List.map
+          (fun r ->
+            [
+              r.dr_label;
+              Printf.sprintf "%.4f" r.dr_floods;
+              Printf.sprintf "%.4f" r.dr_rreq_tx;
+              Printf.sprintf "%.4f" r.dr_delivery;
+              Printf.sprintf "%.2f" r.dr_latency_ms;
+            ])
+          results));
+  let oc = open_out "BENCH_discovery.json" in
+  output_string oc (discovery_bench_json results);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  (wrote BENCH_discovery.json)\n%!"
 
 (* ---- Channel scaling: naive O(N) scan vs the spatial grid --------------- *)
 
@@ -1091,6 +1283,8 @@ let all_experiments =
     ("fig6", fig6);
     ("fig7", fig7);
     ("ablation", ablation);
+    ("aggregation", aggregation);
+    ("discovery", discovery);
     ("channel", channel_scaling);
     ("engine", engine_scaling);
     ("obs", obs_overhead);
@@ -1122,7 +1316,7 @@ let () =
           selected := !selected @ [ name ]
       | other ->
           Printf.eprintf
-            "unknown argument %S (expected: table1 fig2..fig7 ablation channel engine obs parallel codec bechamel all --full --quick --csv=DIR)\n"
+            "unknown argument %S (expected: table1 fig2..fig7 ablation aggregation discovery channel engine obs parallel codec bechamel all --full --quick --csv=DIR)\n"
             other;
           exit 2)
     args;

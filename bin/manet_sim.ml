@@ -18,6 +18,8 @@ let protocol_conv =
     | "dsr" -> Ok Scenario.dsr
     | "dsr-draft7" -> Ok Scenario.dsr_draft7
     | "olsr" -> Ok Scenario.olsr
+    | "ldr-agg" -> Ok Scenario.ldr_agg
+    | "aodv-agg" -> Ok Scenario.aodv_agg
     | s -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))
   in
   let print fmt p = Format.pp_print_string fmt (Scenario.protocol_name p) in
@@ -28,7 +30,9 @@ let protocol =
     value
     & opt protocol_conv Scenario.ldr
     & info [ "p"; "protocol" ] ~docv:"PROTO"
-        ~doc:"Routing protocol: ldr, ldr-plain, aodv, dsr, dsr-draft7, olsr.")
+        ~doc:
+          "Routing protocol: ldr, ldr-plain, ldr-agg, aodv, aodv-agg, dsr, \
+           dsr-draft7, olsr.")
 
 let nodes =
   Arg.(value & opt int 50 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")

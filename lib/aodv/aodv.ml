@@ -427,6 +427,9 @@ let recv t payload ~from =
   match payload with
   | Payload.Data msg -> handle_data t msg
   | Payload.Aodv (Aodv_msg.Rreq r) -> handle_rreq t r ~from
+  | Payload.Aodv (Aodv_msg.Rreq_agg rs) ->
+      (* Aggregated flood: each member RREQ is its own computation. *)
+      List.iter (fun r -> handle_rreq t r ~from) rs
   | Payload.Aodv (Aodv_msg.Rrep r) when t.cfg.use_hello && is_hello r ->
       handle_hello t r ~from
   | Payload.Aodv (Aodv_msg.Rrep r) -> handle_rrep t r ~from

@@ -518,6 +518,9 @@ let recv t payload ~from =
   match payload with
   | Payload.Data msg -> handle_data t msg ~from
   | Payload.Ldr (Ldr_msg.Rreq r) -> handle_rreq t r ~from
+  | Payload.Ldr (Ldr_msg.Rreq_agg rs) ->
+      (* Aggregated flood: each member RREQ is its own computation. *)
+      List.iter (fun r -> handle_rreq t r ~from) rs
   | Payload.Ldr (Ldr_msg.Rrep r) -> handle_rrep t r ~from
   | Payload.Ldr (Ldr_msg.Rerr { unreachable }) ->
       handle_rerr t unreachable ~from

@@ -5,12 +5,16 @@ type protocol =
   | Aodv of Aodv.config
   | Dsr of Dsr.config
   | Olsr of Olsr.config
+  | Ldr_agg of Ldr.Config.t * Routing.Aggregation.config
+  | Aodv_agg of Aodv.config * Routing.Aggregation.config
 
 let protocol_name = function
   | Ldr _ -> "LDR"
   | Aodv _ -> "AODV"
   | Dsr _ -> "DSR"
   | Olsr _ -> "OLSR"
+  | Ldr_agg _ -> "LDR-AGG"
+  | Aodv_agg _ -> "AODV-AGG"
 
 let ldr = Ldr Ldr.Config.default
 let ldr_multipath = Ldr { Ldr.Config.default with multipath = true }
@@ -18,12 +22,18 @@ let aodv = Aodv Aodv.default_config
 let dsr = Dsr Dsr.default_config
 let dsr_draft7 = Dsr { Dsr.default_config with reply_from_cache = false }
 let olsr = Olsr Olsr.default_config
+let ldr_agg = Ldr_agg (Ldr.Config.default, Routing.Aggregation.default)
+let aodv_agg = Aodv_agg (Aodv.default_config, Routing.Aggregation.default)
 
 let factory = function
   | Ldr config -> Ldr.Protocol.factory ~config ()
   | Aodv config -> Aodv.factory ~config ()
   | Dsr config -> Dsr.factory ~config ()
   | Olsr config -> Olsr.factory ~config ()
+  | Ldr_agg (config, agg) ->
+      Routing.Aggregation.wrap ~config:agg (Ldr.Protocol.factory ~config ())
+  | Aodv_agg (config, agg) ->
+      Routing.Aggregation.wrap ~config:agg (Aodv.factory ~config ())
 
 type placement = Uniform | Grid | Fixed of Geom.Vec2.t list
 

@@ -5,6 +5,10 @@ type protocol =
   | Aodv of Aodv.config
   | Dsr of Dsr.config
   | Olsr of Olsr.config
+  | Ldr_agg of Ldr.Config.t * Routing.Aggregation.config
+      (** LDR with the route-request aggregation layer interposed *)
+  | Aodv_agg of Aodv.config * Routing.Aggregation.config
+      (** AODV with the route-request aggregation layer interposed *)
 
 val protocol_name : protocol -> string
 
@@ -21,6 +25,12 @@ val dsr_draft7 : protocol
     Fig-6 QualNet (draft 7) cross-check exercises. *)
 
 val olsr : protocol
+
+val ldr_agg : protocol
+(** LDR-AGG: stock LDR under {!Routing.Aggregation.default}. *)
+
+val aodv_agg : protocol
+(** AODV-AGG: stock AODV under {!Routing.Aggregation.default}. *)
 
 val factory : protocol -> Routing.Agent.factory
 

@@ -18,11 +18,18 @@ type rrep = {
 
 type rerr = { unreachable : (Node_id.t * int) list }
 
-type t = Rreq of rreq | Rrep of rrep | Rerr of rerr
+type t = Rreq of rreq | Rrep of rrep | Rerr of rerr | Rreq_agg of rreq list
 
-let kind = function Rreq _ -> "RREQ" | Rrep _ -> "RREP" | Rerr _ -> "RERR"
+let kind = function
+  | Rreq _ | Rreq_agg _ -> "RREQ"
+  | Rrep _ -> "RREP"
+  | Rerr _ -> "RERR"
 
-let pp fmt = function
+let rec pp fmt = function
+  | Rreq_agg rs ->
+      Format.fprintf fmt "aodv-rreq-agg[%d dests:@ %a]" (List.length rs)
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+        (List.map (fun r -> Rreq r) rs)
   | Rreq r ->
       Format.fprintf fmt "aodv-rreq[dst=%a id=(%a,%d) hops=%d ttl=%d]"
         Node_id.pp r.dst Node_id.pp r.origin r.rreq_id r.hop_count r.ttl

@@ -21,7 +21,11 @@ type rrep = {
 
 type rerr = { unreachable : (Node_id.t * int) list }
 
-type t = Rreq of rreq | Rrep of rrep | Rerr of rerr
+type t = Rreq of rreq | Rrep of rrep | Rerr of rerr | Rreq_agg of rreq list
+(** [Rreq_agg]: aggregation-extension piggyback block; see
+    {!Ldr_msg.t}. *)
 
 val kind : t -> string
+(** An aggregate counts as a single "RREQ" transmission. *)
+
 val pp : Format.formatter -> t -> unit

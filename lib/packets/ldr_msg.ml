@@ -25,11 +25,18 @@ type rrep = {
 
 type rerr = { unreachable : (Node_id.t * Seqnum.t option) list }
 
-type t = Rreq of rreq | Rrep of rrep | Rerr of rerr
+type t = Rreq of rreq | Rrep of rrep | Rerr of rerr | Rreq_agg of rreq list
 
-let kind = function Rreq _ -> "RREQ" | Rrep _ -> "RREP" | Rerr _ -> "RERR"
+let kind = function
+  | Rreq _ | Rreq_agg _ -> "RREQ"
+  | Rrep _ -> "RREP"
+  | Rerr _ -> "RERR"
 
-let pp fmt = function
+let rec pp fmt = function
+  | Rreq_agg rs ->
+      Format.fprintf fmt "ldr-rreq-agg[%d dests:@ %a]" (List.length rs)
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+        (List.map (fun r -> Rreq r) rs)
   | Rreq r ->
       Format.fprintf fmt
         "ldr-rreq[dst=%a id=(%a,%d) fd=%d ad=%d dist=%d ttl=%d%s%s%s]"

@@ -35,9 +35,14 @@ type rrep = {
 
 type rerr = { unreachable : (Node_id.t * Seqnum.t option) list }
 
-type t = Rreq of rreq | Rrep of rrep | Rerr of rerr
+type t = Rreq of rreq | Rrep of rrep | Rerr of rerr | Rreq_agg of rreq list
+(** [Rreq_agg]: the aggregation extension's piggyback block — one flood
+    transmission carrying the RREQs of several concurrent computations
+    (distinct destinations and/or origins).  Stock agents unpack it into
+    the member RREQs; only the LDR-AGG/AODV-AGG variants emit it. *)
 
 val kind : t -> string
-(** "RREQ" | "RREP" | "RERR" — metrics bucket. *)
+(** "RREQ" | "RREP" | "RERR" — metrics bucket.  An aggregate counts as a
+    single "RREQ" transmission: that is the point of aggregation. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,255 @@
+open Sim
+open Packets
+module RA = Agent
+
+type config = {
+  window : Time.t;
+  suppress_window : Time.t;
+  max_batch : int;
+  fanout : bool;
+  fanout_ttl : Time.t;
+}
+
+let default =
+  {
+    window = Time.ms 20.;
+    suppress_window = Time.ms 50.;
+    max_batch = 8;
+    fanout = true;
+    fanout_ttl = Time.sec 2.;
+  }
+
+(* The layer is protocol-agnostic over the two on-demand families that
+   flood RREQs; one node runs one family, but keeping both arms in a
+   single item type lets the wrapper stay a single implementation. *)
+type item = L of Ldr_msg.rreq | A of Aodv_msg.rreq
+
+let item_dst = function L q -> q.Ldr_msg.dst | A q -> q.Aodv_msg.dst
+
+let item_origin = function
+  | L q -> q.Ldr_msg.origin
+  | A q -> q.Aodv_msg.origin
+
+let item_rreq_id = function
+  | L q -> q.Ldr_msg.rreq_id
+  | A q -> q.Aodv_msg.rreq_id
+
+(* A computation whose relay flood this node absorbed; it is owed a copy
+   of the next RREP for the destination, sent back through [w_hop]. *)
+type waiter = {
+  w_origin : Node_id.t;
+  w_rreq_id : int;
+  w_hop : Node_id.t;
+  w_expires : Time.t;
+}
+
+type recent = {
+  mutable r_last : Time.t;  (** when a flood for this dst last left here *)
+  mutable r_origin : Node_id.t;  (** origin of that flood *)
+  mutable r_waiters : waiter list;
+}
+
+type t = {
+  cfg : config;
+  ctx : RA.ctx;
+  mutable batch : item list;  (* newest first; reversed on flush *)
+  mutable flush_armed : bool;
+  recent : recent Node_id.Table.t;
+  rev : Node_id.t Rreq_cache.t;
+      (* (origin, rreq_id) -> previous hop of the received RREQ copy *)
+}
+
+let now t = Engine.now t.ctx.engine
+let prune_waiters at ws = List.filter (fun w -> Time.(w.w_expires > at)) ws
+
+(* ---- Multi-destination piggybacking ----------------------------------- *)
+
+let flush t =
+  match t.batch with
+  | [] -> ()
+  | rev_items ->
+      t.batch <- [];
+      let items = List.rev rev_items in
+      let send_group ~wrap ~single = function
+        | [] -> ()
+        | [ q ] -> t.ctx.send ~dst:Net.Frame.Broadcast (single q)
+        | qs ->
+            (* n requests leave in 1 transmission: n-1 floods saved. *)
+            for _ = 2 to List.length qs do
+              t.ctx.event "rreq_aggregated"
+            done;
+            t.ctx.send ~dst:Net.Frame.Broadcast (wrap qs)
+      in
+      send_group
+        ~wrap:(fun qs -> Payload.Ldr (Ldr_msg.Rreq_agg qs))
+        ~single:(fun q -> Payload.Ldr (Ldr_msg.Rreq q))
+        (List.filter_map (function L q -> Some q | A _ -> None) items);
+      send_group
+        ~wrap:(fun qs -> Payload.Aodv (Aodv_msg.Rreq_agg qs))
+        ~single:(fun q -> Payload.Aodv (Aodv_msg.Rreq q))
+        (List.filter_map (function A q -> Some q | L _ -> None) items)
+
+let enqueue t item =
+  t.batch <- item :: t.batch;
+  if List.length t.batch >= t.cfg.max_batch then flush t
+  else if not t.flush_armed then begin
+    t.flush_armed <- true;
+    ignore
+      (Engine.after t.ctx.engine t.cfg.window (fun () ->
+           t.flush_armed <- false;
+           flush t))
+  end
+
+(* ---- Same-destination suppression ------------------------------------- *)
+
+(* A flood for [dst] left this node within the suppression window on
+   behalf of a different origin: this one need not go out too.  A
+   suppressed relay registers as a waiter so the returning RREP is
+   fanned out to it; a suppressed origination relies on the reply
+   passing through here (else the origin's ring timer re-attempts). *)
+let try_suppress t item at =
+  match Node_id.Table.find_opt t.recent (item_dst item) with
+  | None -> false
+  | Some r ->
+      if
+        Time.(Time.add r.r_last t.cfg.suppress_window <= at)
+        || Node_id.equal r.r_origin (item_origin item)
+      then false
+      else if Node_id.equal (item_origin item) t.ctx.id then true
+      else if not t.cfg.fanout then false
+      else begin
+        match
+          Rreq_cache.find t.rev ~origin:(item_origin item)
+            ~rreq_id:(item_rreq_id item)
+        with
+        | None -> false (* reverse hop unknown: forward rather than strand *)
+        | Some hop ->
+            r.r_waiters <-
+              {
+                w_origin = item_origin item;
+                w_rreq_id = item_rreq_id item;
+                w_hop = hop;
+                w_expires = Time.add at t.cfg.fanout_ttl;
+              }
+              :: prune_waiters at r.r_waiters;
+            true
+      end
+
+let on_outgoing_rreq t item =
+  let at = now t in
+  if try_suppress t item at then
+    t.ctx.event ~dst:(item_dst item) "rreq_suppressed"
+  else begin
+    (match Node_id.Table.find_opt t.recent (item_dst item) with
+    | Some r ->
+        r.r_last <- at;
+        r.r_origin <- item_origin item
+    | None ->
+        Node_id.Table.replace t.recent (item_dst item)
+          { r_last = at; r_origin = item_origin item; r_waiters = [] });
+    enqueue t item
+  end
+
+(* ---- RREP fan-out ------------------------------------------------------ *)
+
+(* [consumed] marks a reply that terminated here (we are its origin): the
+   observed fields are as advertised by the previous hop, so our copy
+   re-advertises one hop further.  A reply the inner agent relayed
+   already carries this node's own advertisement and is copied
+   verbatim. *)
+let fanout_ldr t (p : Ldr_msg.rrep) ~consumed =
+  match Node_id.Table.find_opt t.recent p.dst with
+  | None -> ()
+  | Some r ->
+      let at = now t in
+      let ws =
+        List.filter
+          (fun w ->
+            not (Node_id.equal w.w_origin p.origin && w.w_rreq_id = p.rreq_id))
+          (prune_waiters at r.r_waiters)
+      in
+      r.r_waiters <- [];
+      let dist = if consumed then p.dist + 1 else p.dist in
+      List.iter
+        (fun w ->
+          t.ctx.event ~dst:p.dst "rrep_fanout";
+          t.ctx.send ~dst:(Net.Frame.Unicast w.w_hop)
+            (Payload.Ldr
+               (Ldr_msg.Rrep
+                  { p with origin = w.w_origin; rreq_id = w.w_rreq_id; dist })))
+        ws
+
+let fanout_aodv t (p : Aodv_msg.rrep) ~consumed =
+  match Node_id.Table.find_opt t.recent p.dst with
+  | None -> ()
+  | Some r ->
+      let at = now t in
+      let ws =
+        List.filter
+          (fun w -> not (Node_id.equal w.w_origin p.origin))
+          (prune_waiters at r.r_waiters)
+      in
+      r.r_waiters <- [];
+      let hop_count = if consumed then p.hop_count + 1 else p.hop_count in
+      List.iter
+        (fun w ->
+          t.ctx.event ~dst:p.dst "rrep_fanout";
+          t.ctx.send ~dst:(Net.Frame.Unicast w.w_hop)
+            (Payload.Aodv (Aodv_msg.Rrep { p with origin = w.w_origin; hop_count })))
+        ws
+
+(* ---- Interposition ----------------------------------------------------- *)
+
+let intercept_send t ~dst payload =
+  match (dst, payload) with
+  | Net.Frame.Broadcast, Payload.Ldr (Ldr_msg.Rreq q)
+    when not q.unicast_probe ->
+      on_outgoing_rreq t (L q)
+  | Net.Frame.Broadcast, Payload.Aodv (Aodv_msg.Rreq q) ->
+      on_outgoing_rreq t (A q)
+  | _, Payload.Ldr (Ldr_msg.Rrep p) ->
+      t.ctx.send ~dst payload;
+      if t.cfg.fanout then fanout_ldr t p ~consumed:false
+  | _, Payload.Aodv (Aodv_msg.Rrep p) ->
+      t.ctx.send ~dst payload;
+      if t.cfg.fanout then fanout_aodv t p ~consumed:false
+  | _ -> t.ctx.send ~dst payload
+
+let note_rreq t item ~from =
+  Rreq_cache.add t.rev ~origin:(item_origin item)
+    ~rreq_id:(item_rreq_id item) from
+
+let recv t (inner : RA.t) payload ~from =
+  (match payload with
+  | Payload.Ldr (Ldr_msg.Rreq q) -> note_rreq t (L q) ~from
+  | Payload.Ldr (Ldr_msg.Rreq_agg qs) ->
+      List.iter (fun q -> note_rreq t (L q) ~from) qs
+  | Payload.Aodv (Aodv_msg.Rreq q) -> note_rreq t (A q) ~from
+  | Payload.Aodv (Aodv_msg.Rreq_agg qs) ->
+      List.iter (fun q -> note_rreq t (A q) ~from) qs
+  | _ -> ());
+  inner.RA.recv payload ~from;
+  (* A reply that terminates here is not re-sent by the inner agent, so
+     waiters must be served from the receive side. *)
+  if t.cfg.fanout then
+    match payload with
+    | Payload.Ldr (Ldr_msg.Rrep p) when Node_id.equal p.origin t.ctx.id ->
+        fanout_ldr t p ~consumed:true
+    | Payload.Aodv (Aodv_msg.Rrep p) when Node_id.equal p.origin t.ctx.id ->
+        fanout_aodv t p ~consumed:true
+    | _ -> ()
+
+let wrap ?(config = default) (inner_factory : RA.factory) : RA.factory =
+ fun ctx ->
+  let t =
+    {
+      cfg = config;
+      ctx;
+      batch = [];
+      flush_armed = false;
+      recent = Node_id.Table.create 16;
+      rev = Rreq_cache.create ~engine:ctx.engine ~ttl:config.fanout_ttl;
+    }
+  in
+  let inner = inner_factory { ctx with send = intercept_send t } in
+  { inner with RA.recv = (fun payload ~from -> recv t inner payload ~from) }

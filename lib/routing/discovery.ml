@@ -6,6 +6,7 @@ type t = {
   ttl_threshold : int;
   net_diameter : int;
   node_traversal : Time.t;
+  timeout_buffer : int;
   max_retries : int;
 }
 
@@ -16,6 +17,7 @@ let default =
     ttl_threshold = 7;
     net_diameter = 35;
     node_traversal = Time.ms 40.;
+    timeout_buffer = 2;
     max_retries = 2;
   }
 
@@ -23,14 +25,21 @@ let next_ttl t ~prev =
   match prev with
   | None -> Some t.ttl_start
   | Some p ->
-      if p < t.ttl_threshold then
-        Some (Stdlib.min (p + t.ttl_increment) t.ttl_threshold)
-      else if p < t.net_diameter then Some t.net_diameter
-      else None
-(* Full-diameter retries are counted by the caller against
+      if p >= t.net_diameter then None
+      else if p >= t.ttl_threshold then Some t.net_diameter
+      else
+        let next = p + t.ttl_increment in
+        if next > t.ttl_threshold then Some t.net_diameter else Some next
+(* RFC 3561 §6.4: the ring grows by TTL_INCREMENT while it stays within
+   TTL_THRESHOLD; the attempt after that goes straight to NET_DIAMETER.
+   Clamping an overshooting ring *at* the threshold would insert an
+   extra flood the schedule doesn't call for (visible whenever the
+   first TTL is unaligned, e.g. LDR's optimal-TTL starts).
+   Full-diameter retries are counted by the caller against
    [max_retries]; [next_ttl] only shapes the ring growth. *)
 
-let attempt_timeout t ~ttl = Time.mul t.node_traversal (2 * ttl)
+let attempt_timeout t ~ttl =
+  Time.mul t.node_traversal (2 * (ttl + t.timeout_buffer))
 
 let ttl_for_known_distance t ~dist =
   Stdlib.min t.net_diameter (Stdlib.max t.ttl_start dist + 2)

@@ -2,9 +2,9 @@
 
     Constants follow the AODV draft the paper measures against:
     TTL_START = 1, TTL_INCREMENT = 2, TTL_THRESHOLD = 7, NET_DIAMETER
-    = 35, with per-attempt timeouts proportional to the ring size
-    (2 x TTL x node traversal time) and a bounded number of full-diameter
-    retries. *)
+    = 35, with per-attempt timeouts of RING_TRAVERSAL_TIME =
+    2 x node traversal time x (TTL + TIMEOUT_BUFFER) per RFC 3561
+    section 10, and a bounded number of full-diameter retries. *)
 
 type t = {
   ttl_start : int;
@@ -12,6 +12,9 @@ type t = {
   ttl_threshold : int;
   net_diameter : int;
   node_traversal : Sim.Time.t;  (** conservative one-hop latency estimate *)
+  timeout_buffer : int;
+      (** RFC 3561 TIMEOUT_BUFFER: extra TTL-equivalents of slack in the
+          per-attempt timeout so a slow reply is not re-flooded over *)
   max_retries : int;  (** network-wide attempts after the ring search *)
 }
 

@@ -3,9 +3,12 @@ open Packets
 
 type 'a entry = { mutable value : 'a; mutable expires : Time.t }
 
-(* Table keys pack (origin, rreq_id) into one immediate int — node ids
-   and per-node flood counters are far below 2^31, so the packing is
-   injective and the table hashes an int instead of a boxed pair. *)
+(* Table keys pack (origin, rreq_id) into one immediate int so the
+   table hashes an int instead of a boxed pair.  The packing gives the
+   flood counter the full 32 bits it occupies on the wire and the node
+   id the 30 bits above them, disjoint — injective over the whole wire
+   domain, with a guard on the (physically implausible) node ids that
+   would overflow a 63-bit immediate. *)
 type 'a t = {
   engine : Engine.t;
   ttl : Time.t;
@@ -13,7 +16,11 @@ type 'a t = {
   mutable ops_since_purge : int;
 }
 
-let key ~origin ~rreq_id = (Node_id.to_int origin lsl 31) lxor rreq_id
+let key ~origin ~rreq_id =
+  let o = Node_id.to_int origin in
+  if o lsr 30 <> 0 then
+    invalid_arg (Printf.sprintf "Rreq_cache.key: node id %d >= 2^30" o);
+  (o lsl 32) lor (rreq_id land 0xffff_ffff)
 
 let create ~engine ~ttl =
   { engine; ttl; table = Hashtbl.create 64; ops_since_purge = 0 }
@@ -61,9 +68,12 @@ let add t ~origin ~rreq_id value =
   | None -> Hashtbl.replace t.table (key ~origin ~rreq_id) { value; expires }
 
 let update t ~origin ~rreq_id f =
-  match Hashtbl.find_opt t.table (key ~origin ~rreq_id) with
+  tick t;
+  let k = key ~origin ~rreq_id in
+  match Hashtbl.find_opt t.table k with
   | Some e when live t e -> e.value <- f e.value
-  | Some _ | None -> ()
+  | Some _ -> Hashtbl.remove t.table k
+  | None -> ()
 
 let length t =
   purge t;

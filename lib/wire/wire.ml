@@ -201,13 +201,14 @@ module Ldr = struct
     | Rreq _ -> 44
     | Rrep _ -> 32
     | Rerr { unreachable } -> 4 + (12 * List.length unreachable)
+    | Rreq_agg members -> 4 + (44 * List.length members)
 
   let flag_reset = 0x80
   let flag_no_reverse = 0x40
   let flag_probe = 0x20
   let flag_unknown_sn = 0x10
 
-  let write w (t : Packets.Ldr_msg.t) =
+  let rec write w (t : Packets.Ldr_msg.t) =
     match t with
     | Rreq q ->
         Writer.u8 w 1;
@@ -252,8 +253,18 @@ module Ldr = struct
                 Writer.u32 w 0xffffffff
             | Some sn -> write_sn w sn)
           unreachable
+    | Rreq_agg members ->
+        (* Aggregation option block (type 4): a count octet, two reserved
+           octets, then the member RREQs nested whole — each with its own
+           type octet — so member layout stays byte-identical to a plain
+           flood and the per-member fields (TTL, flags, distances) need no
+           re-encoding rules of their own. *)
+        Writer.u8 w 4;
+        Writer.u8 w (List.length members);
+        Writer.u16 w 0;
+        List.iter (fun q -> write w (Packets.Ldr_msg.Rreq q)) members
 
-  let read r : (Packets.Ldr_msg.t, error) result =
+  let rec read r : (Packets.Ldr_msg.t, error) result =
     let* typ = Reader.u8 r in
     match typ with
     | 1 ->
@@ -334,6 +345,23 @@ module Ldr = struct
               Ok (id, sn))
         in
         Ok (Packets.Ldr_msg.Rerr { unreachable })
+    | 4 ->
+        let* count = Reader.u8 r in
+        let* () = check r 1 (count >= 1) "ldr rreq-agg: empty aggregate" in
+        let* () = expect_u16 r 0 "ldr rreq-agg: reserved octets" in
+        let* () =
+          check r 1
+            (Reader.remaining r = 44 * count)
+            "ldr rreq-agg: length mismatch"
+        in
+        let* members =
+          read_list r count (fun r ->
+              let* m = read r in
+              match m with
+              | Packets.Ldr_msg.Rreq q -> Ok q
+              | _ -> reject r 1 "ldr rreq-agg: member is not a RREQ")
+        in
+        Ok (Packets.Ldr_msg.Rreq_agg members)
     | _ -> reject r 1 "ldr: unknown message type"
 
   let encode t =
@@ -356,8 +384,9 @@ module Aodv = struct
     | Rreq _ -> 24
     | Rrep _ -> 20
     | Rerr { unreachable } -> 4 + (8 * List.length unreachable)
+    | Rreq_agg members -> 4 + (24 * List.length members)
 
-  let write w (t : Packets.Aodv_msg.t) =
+  let rec write w (t : Packets.Aodv_msg.t) =
     match t with
     | Rreq q ->
         Writer.u8 w 1;
@@ -390,8 +419,17 @@ module Aodv = struct
             write_node w id;
             Writer.u32 w sn)
           unreachable
+    | Rreq_agg members ->
+        (* Aggregation option block; type 16 sits outside RFC 3561's 1-4
+           range, marking it as the extension it is.  Same shape as the
+           LDR block: count octet, two reserved octets, nested whole
+           member RREQs. *)
+        Writer.u8 w 16;
+        Writer.u8 w (List.length members);
+        Writer.u16 w 0;
+        List.iter (fun q -> write w (Packets.Aodv_msg.Rreq q)) members
 
-  let read r : (Packets.Aodv_msg.t, error) result =
+  let rec read r : (Packets.Aodv_msg.t, error) result =
     let* typ = Reader.u8 r in
     match typ with
     | 1 ->
@@ -438,6 +476,23 @@ module Aodv = struct
               Ok (id, sn))
         in
         Ok (Packets.Aodv_msg.Rerr { unreachable })
+    | 16 ->
+        let* count = Reader.u8 r in
+        let* () = check r 1 (count >= 1) "aodv rreq-agg: empty aggregate" in
+        let* () = expect_u16 r 0 "aodv rreq-agg: reserved octets" in
+        let* () =
+          check r 1
+            (Reader.remaining r = 24 * count)
+            "aodv rreq-agg: length mismatch"
+        in
+        let* members =
+          read_list r count (fun r ->
+              let* m = read r in
+              match m with
+              | Packets.Aodv_msg.Rreq q -> Ok q
+              | _ -> reject r 1 "aodv rreq-agg: member is not a RREQ")
+        in
+        Ok (Packets.Aodv_msg.Rreq_agg members)
     | _ -> reject r 1 "aodv: unknown message type"
 
   let encode t =

@@ -60,6 +60,49 @@ let cache_update_in_place () =
   Routing.Rreq_cache.update c ~origin:(n 9) ~rreq_id:9 (fun x -> x + 1);
   checkb "no phantom" false (Routing.Rreq_cache.mem c ~origin:(n 9) ~rreq_id:9)
 
+let cache_update_ignores_expired () =
+  let engine = Engine.create () in
+  let c = Routing.Rreq_cache.create ~engine ~ttl:(Time.ms 10.) in
+  Routing.Rreq_cache.add c ~origin:(n 1) ~rreq_id:1 10;
+  ignore
+    (Engine.at engine (Time.sec 1.) (fun () ->
+         (* The entry is past its TTL: update must neither apply [f] nor
+            resurrect it. *)
+         Routing.Rreq_cache.update c ~origin:(n 1) ~rreq_id:1 (fun x -> x + 5);
+         checkb "expired entry not updated" true
+           (Routing.Rreq_cache.find c ~origin:(n 1) ~rreq_id:1 = None);
+         checkb "not resurrected" false
+           (Routing.Rreq_cache.mem c ~origin:(n 1) ~rreq_id:1)));
+  Engine.run engine
+
+let cache_key_injective_qcheck =
+  (* Distinct (origin, rreq_id) pairs over the full wire domain — node
+     ids to 2^30, flood counters to 2^32 — must never alias.  The old
+     packing ((origin lsl 31) lxor rreq_id) collided as soon as a flood
+     counter reached 2^31: e.g. (0, 0) vs (1, 2^31). *)
+  let pair =
+    QCheck.(
+      quad (int_bound ((1 lsl 30) - 1)) (int_bound max_int)
+        (int_bound ((1 lsl 30) - 1)) (int_bound max_int))
+  in
+  QCheck.Test.make ~name:"rreq_cache distinct computations never alias" ~count:500
+    pair (fun (o1, r1', o2, r2') ->
+      let r1 = r1' land 0xffff_ffff and r2 = r2' land 0xffff_ffff in
+      QCheck.assume (not (o1 = o2 && r1 = r2));
+      let engine = Engine.create () in
+      let c = Routing.Rreq_cache.create ~engine ~ttl:(Time.sec 5.) in
+      Routing.Rreq_cache.add c ~origin:(n o1) ~rreq_id:r1 "a";
+      (not (Routing.Rreq_cache.mem c ~origin:(n o2) ~rreq_id:r2))
+      && Routing.Rreq_cache.find c ~origin:(n o1) ~rreq_id:r1 = Some "a")
+
+let cache_old_packing_collision () =
+  (* The concrete collision of the pre-fix packing. *)
+  let engine = Engine.create () in
+  let c = Routing.Rreq_cache.create ~engine ~ttl:(Time.sec 5.) in
+  Routing.Rreq_cache.add c ~origin:(n 0) ~rreq_id:0 "zero";
+  checkb "(1, 2^31) is a different computation" false
+    (Routing.Rreq_cache.mem c ~origin:(n 1) ~rreq_id:(1 lsl 31))
+
 let cache_purges () =
   let engine = Engine.create () in
   let c = Routing.Rreq_cache.create ~engine ~ttl:(Time.ms 10.) in
@@ -195,13 +238,33 @@ let ring_schedule () =
   checkb "then exhausted" true
     (Routing.Discovery.next_ttl d ~prev:(Some d.net_diameter) = None)
 
+let ring_no_extra_threshold_attempt () =
+  (* RFC 3561 s6.4: once the next ring would pass TTL_THRESHOLD the
+     search goes straight to NET_DIAMETER — no clamped attempt *at* the
+     threshold.  Unaligned previous TTLs arise from LDR's optimal-TTL
+     starts and from [ttl_for_known_distance]. *)
+  let d = Routing.Discovery.default in
+  checkb "6 jumps straight to diameter" true
+    (Routing.Discovery.next_ttl d ~prev:(Some 6) = Some d.net_diameter);
+  checkb "threshold jumps to diameter" true
+    (Routing.Discovery.next_ttl d ~prev:(Some 7) = Some d.net_diameter);
+  checkb "above threshold jumps to diameter" true
+    (Routing.Discovery.next_ttl d ~prev:(Some 12) = Some d.net_diameter);
+  (* An in-threshold ring that lands exactly on the threshold is still a
+     legitimate attempt. *)
+  checkb "5 -> 7 kept" true (Routing.Discovery.next_ttl d ~prev:(Some 5) = Some 7)
+
 let ring_timeouts_scale () =
   let d = Routing.Discovery.default in
   let t1 = Routing.Discovery.attempt_timeout d ~ttl:1 in
   let t7 = Routing.Discovery.attempt_timeout d ~ttl:7 in
   checkb "longer ttl waits longer" true Time.(t7 > t1);
-  checkb "2*ttl*traversal" true
-    (Time.equal t7 (Time.mul d.node_traversal 14))
+  (* RING_TRAVERSAL_TIME = 2 * NODE_TRAVERSAL_TIME * (TTL + TIMEOUT_BUFFER),
+     RFC 3561 s10 with TIMEOUT_BUFFER = 2. *)
+  checkb "2*(ttl+buffer)*traversal" true
+    (Time.equal t7 (Time.mul d.node_traversal (2 * (7 + d.timeout_buffer))));
+  checkb "buffer keeps the smallest ring patient" true
+    (Time.equal t1 (Time.mul d.node_traversal 6))
 
 let ring_known_distance () =
   let d = Routing.Discovery.default in
@@ -231,6 +294,11 @@ let () =
           Alcotest.test_case "expiry" `Quick cache_expiry;
           Alcotest.test_case "refresh" `Quick cache_refresh_restarts_clock;
           Alcotest.test_case "update" `Quick cache_update_in_place;
+          Alcotest.test_case "update ignores expired" `Quick
+            cache_update_ignores_expired;
+          Alcotest.test_case "old packing collision" `Quick
+            cache_old_packing_collision;
+          QCheck_alcotest.to_alcotest cache_key_injective_qcheck;
           Alcotest.test_case "purge" `Quick cache_purges;
         ] );
       ( "packet_buffer",
@@ -245,6 +313,8 @@ let () =
       ( "discovery",
         [
           Alcotest.test_case "ring schedule" `Quick ring_schedule;
+          Alcotest.test_case "no clamped threshold attempt" `Quick
+            ring_no_extra_threshold_attempt;
           Alcotest.test_case "timeouts scale" `Quick ring_timeouts_scale;
           Alcotest.test_case "known distance" `Quick ring_known_distance;
         ] );
