@@ -135,6 +135,18 @@ let inject_stale =
               a forged RREP with an absurdly new sequence number — the \
               seeded corruption the invariant monitor is built to catch.")
 
+let shards =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Run the simulation itself across $(docv) spatial regions \
+           (conservative synchronous-window PDES, see \
+           docs/PARALLELISM.md); metrics are invariant in $(docv) for \
+           runs whose traffic stays clear of region borders, and the \
+           crossing latency is documented for the rest.  0 = one shard \
+           per recommended core, capped at the node count.")
+
 let trials =
   Arg.(value & opt int 3 & info [ "trials" ] ~docv:"T" ~doc:"Trials per point (sweep).")
 
@@ -153,8 +165,8 @@ let pauses =
     & opt (list float) [ 0.; 120.; 900. ]
     & info [ "pauses" ] ~docv:"LIST" ~doc:"Comma-separated pause times (sweep).")
 
-let scenario protocol nodes width height flows pps pause speed_max duration seed
-    audit =
+let scenario ?(shards = 1) protocol nodes width height flows pps pause speed_max
+    duration seed audit =
   {
     Scenario.label = "cli";
     num_nodes = nodes;
@@ -178,6 +190,7 @@ let scenario protocol nodes width height flows pps pause speed_max duration seed
     audit_loops = audit;
     naive_channel = false;
     heap_scheduler = false;
+    shards;
   }
 
 (* Hand-rolled JSON: the trace schema is flat and the container ships no
@@ -278,31 +291,47 @@ let print_outcome (o : Runner.outcome) =
   Format.printf "mean dest seqno   %.2f@." (Metrics.mean_dest_seqno m);
   Format.printf "loop violations   %d@." (Metrics.loop_violations m);
   Format.printf "invariant viols   %d@." o.invariant_violations;
-  Format.printf "events processed  %d@." o.events_processed
+  Format.printf "events processed  %d@." o.events_processed;
+  if o.pdes_windows > 0 then
+    Format.printf "pdes windows      %d (%d cross-shard frames)@."
+      o.pdes_windows o.pdes_messages
 
 let run_cmd =
   let action protocol nodes width height flows pps pause speed_max duration
       seed audit trace json trace_out pcap_out monitor sample sample_out
-      inject_stale =
+      inject_stale shards =
     if trace then Trace.enable ();
     let sc =
-      scenario protocol nodes width height flows pps pause speed_max duration
-        seed audit
+      scenario ~shards protocol nodes width height flows pps pause speed_max
+        duration seed audit
     in
     if not json then
       Format.printf
         "%s: %d nodes on %.0fx%.0fm, %d flows @ %g pps, pause %gs, %gs@."
         (Scenario.protocol_name protocol)
         nodes width height flows pps pause duration;
+    (* --shards 0 (auto) may resolve either way; the fault injector has
+       a classic and a sharded form, so pick after resolution. *)
+    let sharded = Runner.resolve_shards sc >= 2 in
     let prepare =
-      Option.map
-        (fun t sim -> ignore (Fault.stale_seqno sim ~at:(Time.sec t)))
-        inject_stale
+      if sharded then None
+      else
+        Option.map
+          (fun t sim -> ignore (Fault.stale_seqno sim ~at:(Time.sec t)))
+          inject_stale
+    in
+    let prepare_pdes =
+      if not sharded then None
+      else
+        Option.map
+          (fun t psim ->
+            ignore (Fault.stale_seqno_sharded psim ~at:(Time.sec t)))
+          inject_stale
     in
     let outcome =
       Runner.run ~monitor ?trace_out ?pcap_out
         ?sample:(Option.map Time.sec sample)
-        ~sample_out ?prepare sc
+        ~sample_out ?prepare ?prepare_pdes sc
     in
     if json then print_outcome_json outcome else print_outcome outcome
   in
@@ -310,7 +339,7 @@ let run_cmd =
     Term.(
       const action $ protocol $ nodes $ width $ height $ flows $ pps $ pause
       $ speed_max $ duration $ seed $ audit $ trace $ json $ trace_out
-      $ pcap_out $ monitor $ sample $ sample_out $ inject_stale)
+      $ pcap_out $ monitor $ sample $ sample_out $ inject_stale $ shards)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one scenario and print its metrics.") term
 

@@ -31,6 +31,7 @@ let scenario protocol seed =
     audit_loops = true;
     naive_channel = false;
     heap_scheduler = false;
+    shards = 1;
   }
 
 let () =

@@ -30,6 +30,7 @@ let scenario protocol seed =
     audit_loops = true;
     naive_channel = false;
     heap_scheduler = false;
+    shards = 1;
   }
 
 let run name protocol =

@@ -30,6 +30,7 @@ let scenario protocol =
     audit_loops = false;
     naive_channel = false;
     heap_scheduler = false;
+    shards = 1;
   }
 
 let () =

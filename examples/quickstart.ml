@@ -34,6 +34,7 @@ let () =
       audit_loops = true;
       naive_channel = false;
       heap_scheduler = false;
+      shards = 1;
     }
   in
   let outcome = Runner.run scenario in

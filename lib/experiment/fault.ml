@@ -1,44 +1,74 @@
 open Sim
 open Packets
 
+(* A reply the real destination never issued: its number vaults past
+   anything in the network, so NDC accepts it and the route installs —
+   but the successor's stored invariants cannot dominate the forged
+   ones, which is exactly what the monitor checks. *)
+let forged_rrep ~stamp ~dst ~origin =
+  Ldr_msg.Rrep
+    {
+      Ldr_msg.dst;
+      dst_sn = { Seqnum.stamp; counter = 0 };
+      origin;
+      rreq_id = 987_654;
+      dist = 1;
+      lifetime = Time.sec 10.;
+      rrep_no_reverse = false;
+    }
+
+(* Row-major scan for the first node with an active route: the
+   injection site is a deterministic function of the routing state, so
+   a classic and a sharded run in identical state pick the same
+   (node, destination, successor). *)
+let first_route (agents : Routing.Agent.t array) =
+  let n = Array.length agents in
+  let found = ref None in
+  (try
+     for i = 0 to n - 1 do
+       for d = 0 to n - 1 do
+         if d <> i then
+           match agents.(i).Routing.Agent.successor (Node_id.of_int d) with
+           | Some s ->
+               found := Some (i, d, s);
+               raise Exit
+           | None -> ()
+       done
+     done
+   with Exit -> ());
+  !found
+
+let deliver_forged ~stamp (agents : Routing.Agent.t array) (i, d, s) =
+  agents.(i).Routing.Agent.recv
+    (Payload.Ldr (forged_rrep ~stamp ~dst:(Node_id.of_int d)
+                     ~origin:(Node_id.of_int i)))
+    ~from:s
+
 let stale_seqno ?(stamp = 1_000_000) (sim : Runner.sim) ~at =
   let injected = ref false in
   ignore
     (Engine.at sim.Runner.engine at (fun () ->
-         let agents = sim.Runner.agents in
-         let n = Array.length agents in
-         try
-           for i = 0 to n - 1 do
-             for d = 0 to n - 1 do
-               if d <> i then
-                 match
-                   agents.(i).Routing.Agent.successor (Node_id.of_int d)
-                 with
-                 | Some s ->
-                     (* A reply the real destination never issued: its
-                        number vaults past anything in the network, so
-                        NDC accepts it and the route installs — but the
-                        successor's stored invariants cannot dominate
-                        the forged ones, which is exactly what the
-                        monitor checks. *)
-                     let forged =
-                       Ldr_msg.Rrep
-                         {
-                           Ldr_msg.dst = Node_id.of_int d;
-                           dst_sn = { Seqnum.stamp; counter = 0 };
-                           origin = Node_id.of_int i;
-                           rreq_id = 987_654;
-                           dist = 1;
-                           lifetime = Time.sec 10.;
-                           rrep_no_reverse = false;
-                         }
-                     in
-                     agents.(i).Routing.Agent.recv (Payload.Ldr forged)
-                       ~from:s;
-                     injected := true;
-                     raise Exit
-                 | None -> ()
-             done
-           done
-         with Exit -> ()));
+         match first_route sim.Runner.agents with
+         | Some site ->
+             deliver_forged ~stamp sim.Runner.agents site;
+             injected := true
+         | None -> ()));
+  injected
+
+let stale_seqno_sharded ?(stamp = 1_000_000) (p : Runner.psim) ~at =
+  let injected = ref false in
+  p.Runner.p_request_injection ~at (fun () ->
+      (* Boundary callback: every shard has run all events before [at],
+         none at or after it — the same state the classic injector event
+         observes.  The delivery itself becomes one event at [at] on the
+         victim's home engine, mirroring the classic path's single
+         injector event. *)
+      match first_route p.Runner.p_agents with
+      | Some ((i, _, _) as site) ->
+          let engine = p.Runner.p_engines.(p.Runner.p_home.(i)) in
+          ignore
+            (Engine.at engine at (fun () ->
+                 deliver_forged ~stamp p.Runner.p_agents site;
+                 injected := true))
+      | None -> ());
   injected

@@ -18,9 +18,19 @@ type t = {
   drops : (string, int ref) Hashtbl.t;
   mutable loop_violations : int;
   mutable mean_dest_seqno : float;
+  (* Per-delivery journal, recorded only by PDES shards: merging the
+     per-shard Welford/quantile states directly would re-associate the
+     float sums, so [merge_all] instead replays every shard's samples in
+     global delivery-time order into fresh accumulators — bit-identical
+     to the single-engine run, which adds in exactly that order. *)
+  journal : bool;
+  mutable j_time : int array;  (* delivery time, ns *)
+  mutable j_lat : float array;
+  mutable j_hops : float array;
+  mutable j_n : int;
 }
 
-let create () =
+let create ?(journal = false) () =
   {
     originated = 0;
     delivered = 0;
@@ -39,7 +49,31 @@ let create () =
     drops = Hashtbl.create 8;
     loop_violations = 0;
     mean_dest_seqno = 0.;
+    journal;
+    j_time = (if journal then Array.make 1024 0 else [||]);
+    j_lat = (if journal then Array.make 1024 0. else [||]);
+    j_hops = (if journal then Array.make 1024 0. else [||]);
+    j_n = 0;
   }
+
+let journal_sample t ~now latency_ms hops =
+  let n = t.j_n in
+  if n = Array.length t.j_time then begin
+    let cap = Stdlib.max 1024 (2 * n) in
+    let time' = Array.make cap 0
+    and lat' = Array.make cap 0.
+    and hops' = Array.make cap 0. in
+    Array.blit t.j_time 0 time' 0 n;
+    Array.blit t.j_lat 0 lat' 0 n;
+    Array.blit t.j_hops 0 hops' 0 n;
+    t.j_time <- time';
+    t.j_lat <- lat';
+    t.j_hops <- hops'
+  end;
+  t.j_time.(n) <- (now : Sim.Time.t :> int);
+  t.j_lat.(n) <- latency_ms;
+  t.j_hops.(n) <- hops;
+  t.j_n <- n + 1
 
 let bump tbl key =
   match Hashtbl.find_opt tbl key with
@@ -67,9 +101,11 @@ let data_delivered t ~now msg =
     Hashtbl.replace t.seen uid ();
     t.delivered <- t.delivered + 1;
     let latency_ms = Sim.Time.to_ms (Sim.Time.diff now msg.Data_msg.origin_time) in
+    let hops = float_of_int msg.Data_msg.hops in
     Stats.Welford.add t.latency latency_ms;
     Stats.Quantile.add t.latency_q latency_ms;
-    Stats.Welford.add t.hop_count (float_of_int msg.Data_msg.hops)
+    Stats.Welford.add t.hop_count hops;
+    if t.journal then journal_sample t ~now latency_ms hops
   end
 
 let data_dropped t _msg ~reason = bump t.drops reason
@@ -80,14 +116,66 @@ let transmitted t (f : Net.Frame.t) =
   | Net.Frame.Ack ->
       t.ack_tx <- t.ack_tx + 1;
       t.ack_bytes <- t.ack_bytes + bytes
-  | Net.Frame.Payload p -> (
-      match Payload.classify p with
-      | `Data _ ->
-          t.data_tx <- t.data_tx + 1;
-          t.data_bytes <- t.data_bytes + bytes
-      | `Control kind ->
-          bump t.control_tx kind;
-          bump_by t.control_bytes kind bytes)
+  | Net.Frame.Payload p ->
+      (* [is_data]/[class_name] instead of [classify]: this runs per
+         transmission and must not allocate the classify variant. *)
+      if Payload.is_data p then begin
+        t.data_tx <- t.data_tx + 1;
+        t.data_bytes <- t.data_bytes + bytes
+      end
+      else begin
+        let kind = Payload.class_name p in
+        bump t.control_tx kind;
+        bump_by t.control_bytes kind bytes
+      end
+
+(* Merge per-shard metrics from a PDES run into one account.  Integer
+   counters and per-kind tables are exact sums; the latency/hop
+   accumulators are rebuilt by replaying every shard's journal in global
+   delivery-time order (stable across shards, so same-nanosecond ties
+   keep shard order), which reproduces the single-engine float state
+   bit-for-bit — see the journal comment on [t]. *)
+let merge_all parts =
+  let m = create () in
+  let add_tbl dst src = Hashtbl.iter (fun k r -> bump_by dst k !r) src in
+  List.iter
+    (fun p ->
+      if not p.journal then
+        invalid_arg "Metrics.merge_all: part recorded no delivery journal";
+      m.originated <- m.originated + p.originated;
+      m.delivered <- m.delivered + p.delivered;
+      m.duplicates <- m.duplicates + p.duplicates;
+      m.data_tx <- m.data_tx + p.data_tx;
+      m.ack_tx <- m.ack_tx + p.ack_tx;
+      m.data_bytes <- m.data_bytes + p.data_bytes;
+      m.ack_bytes <- m.ack_bytes + p.ack_bytes;
+      m.loop_violations <- m.loop_violations + p.loop_violations;
+      add_tbl m.control_tx p.control_tx;
+      add_tbl m.control_bytes p.control_bytes;
+      add_tbl m.events p.events;
+      add_tbl m.drops p.drops)
+    parts;
+  let total = List.fold_left (fun acc p -> acc + p.j_n) 0 parts in
+  let time = Array.make (Stdlib.max 1 total) 0 in
+  let lat = Array.make (Stdlib.max 1 total) 0. in
+  let hops = Array.make (Stdlib.max 1 total) 0. in
+  let off = ref 0 in
+  List.iter
+    (fun p ->
+      Array.blit p.j_time 0 time !off p.j_n;
+      Array.blit p.j_lat 0 lat !off p.j_n;
+      Array.blit p.j_hops 0 hops !off p.j_n;
+      off := !off + p.j_n)
+    parts;
+  let order = Array.init total Fun.id in
+  Array.stable_sort (fun a b -> Stdlib.compare time.(a) time.(b)) order;
+  Array.iter
+    (fun i ->
+      Stats.Welford.add m.latency lat.(i);
+      Stats.Quantile.add m.latency_q lat.(i);
+      Stats.Welford.add m.hop_count hops.(i))
+    order;
+  m
 
 let protocol_event t name = bump t.events name
 let loop_violation t = t.loop_violations <- t.loop_violations + 1

@@ -5,6 +5,13 @@ let resolve_jobs jobs =
   else if jobs = 0 then recommended_jobs ()
   else jobs
 
+(* Auto mode must never spawn more domains than there are work items:
+   the spare domains would only pay startup cost and skew per-domain GC
+   deltas.  Every jobs=0 consumer (map, the sweep benchmark's reported
+   worker count, the CLI's [--shards 0]) resolves through here. *)
+let effective_jobs ~items jobs =
+  Stdlib.max 1 (Stdlib.min (resolve_jobs jobs) items)
+
 (* Domain-local worker marker.  Trial code consults this to avoid
    touching process-global observers (the pretty trace sink's Logs
    reporter writes through one shared formatter) from concurrent
@@ -81,7 +88,7 @@ let default_chunk ~jobs n = Stdlib.max 1 (n / (jobs * 64))
 
 let map ?(jobs = 1) ?chunk n f =
   if n < 0 then invalid_arg "Parallel.map: n must be >= 0";
-  let jobs = Stdlib.min (resolve_jobs jobs) n in
+  let jobs = if n = 0 then 1 else effective_jobs ~items:n jobs in
   if jobs <= 1 then sequential n f
   else begin
     let chunk =

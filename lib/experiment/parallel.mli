@@ -24,6 +24,13 @@ val resolve_jobs : int -> int
     for [0].  Raises [Invalid_argument] on negative [j].  The CLI's
     [--jobs 0 = auto] convention funnels through here. *)
 
+val effective_jobs : items:int -> int -> int
+(** [effective_jobs ~items j] is {!resolve_jobs}[ j] capped at [items]
+    (and at least 1): auto mode never spawns more domains than there is
+    work — spare domains would only pay startup cost and skew the
+    per-domain GC deltas benchmarks report.  {!map} and the CLI's
+    [--jobs 0]/[--shards 0] auto modes resolve through here. *)
+
 val on_worker_domain : unit -> bool
 (** True while executing inside a {!map} worker domain (domain-local
     flag).  Used to keep process-global observers — e.g. the pretty

@@ -53,6 +53,9 @@ type t = {
   audit_loops : bool;
   naive_channel : bool;
   heap_scheduler : bool;
+  shards : int;
+      (* <= 1: classic single-engine run; K >= 2: spatially-sharded
+         PDES across K regions; 0: auto (recommended domains, capped) *)
 }
 
 let paper_50 protocol =
@@ -72,6 +75,7 @@ let paper_50 protocol =
     audit_loops = false;
     naive_channel = false;
     heap_scheduler = false;
+    shards = 1;
   }
 
 let paper_100 protocol =
@@ -110,4 +114,5 @@ let with_duration duration t = { t with duration }
 let with_seed seed t = { t with seed }
 let with_naive_channel naive_channel t = { t with naive_channel }
 let with_heap_scheduler heap_scheduler t = { t with heap_scheduler }
+let with_shards shards t = { t with shards }
 let scaled ~duration t = { t with duration }

@@ -64,6 +64,14 @@ type t = {
           instead of the calendar queue — differential tests and the
           engine benchmark only; outcomes are event-for-event
           identical either way *)
+  shards : int;
+      (** [<= 1] (default 1): classic single-engine run.  [K >= 2]:
+          spatially-sharded conservative PDES — the arena splits into K
+          vertical regions, each with its own engine, channel and
+          metrics, advanced in synchronous lookahead windows
+          ({!Sim.Pdes}; see docs/PARALLELISM.md for the determinism
+          contract).  [0]: auto — recommended domain count capped at
+          the node count. *)
 }
 
 val paper_50 : protocol -> t
@@ -81,5 +89,6 @@ val with_duration : Sim.Time.t -> t -> t
 val with_seed : int -> t -> t
 val with_naive_channel : bool -> t -> t
 val with_heap_scheduler : bool -> t -> t
+val with_shards : int -> t -> t
 val scaled : duration:Sim.Time.t -> t -> t
 (** Shorten a paper scenario for laptop-scale reproduction. *)

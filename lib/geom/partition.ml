@@ -1,0 +1,24 @@
+(* Spatial sharding for the PDES runner: K equal-width vertical stripes
+   over the terrain.  Stripes (not a 2-D tiling) keep the border set
+   one-dimensional — a transmission concerns a neighbouring region iff
+   its x-coordinate is within carrier-sense range of the stripe's
+   occupancy interval — and match the wide 5:1 arenas the paper's
+   scenarios use. *)
+
+type t = { k : int; stripe_w : float; width : float }
+
+let stripes ~terrain ~k =
+  if k < 1 then invalid_arg "Partition.stripes: k must be >= 1";
+  let width = terrain.Terrain.width in
+  { k; stripe_w = width /. float_of_int k; width }
+
+let regions t = t.k
+
+let region_of t (p : Vec2.t) =
+  if t.k = 1 then 0
+  else
+    let r = int_of_float (p.x /. t.stripe_w) in
+    if r < 0 then 0 else if r >= t.k then t.k - 1 else r
+
+let x_lo t r = float_of_int r *. t.stripe_w
+let x_hi t r = if r = t.k - 1 then t.width else float_of_int (r + 1) *. t.stripe_w

@@ -1,0 +1,14 @@
+(** Arena partition for spatially-sharded (PDES) runs: K equal-width
+    vertical stripes.  Region 0 owns [0, w/K), region K-1 owns the
+    remainder up to the terrain width; points outside the terrain clamp
+    to the nearest stripe. *)
+
+type t
+
+val stripes : terrain:Terrain.t -> k:int -> t
+(** Raises [Invalid_argument] when [k < 1]. *)
+
+val regions : t -> int
+val region_of : t -> Vec2.t -> int
+val x_lo : t -> int -> float
+val x_hi : t -> int -> float

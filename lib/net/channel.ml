@@ -24,6 +24,10 @@ and radio = {
   mutable busy_count : int;  (** in-range transmissions currently in the air *)
   mutable tx_count : int;  (** own transmissions in the air (0 or 1) *)
   mutable current_rx : rx;  (** == [no_rx] when not locked to a frame *)
+  mutable crossed : bool;
+      (** last transmission was forwarded cross-shard (PDES): its remote
+          copies arrive one delivery latency late, so unicast senders
+          must extend their ACK wait by the round-trip grace *)
 }
 
 let dummy_frame =
@@ -53,6 +57,7 @@ and dummy_radio =
     busy_count = 0;
     tx_count = 0;
     current_rx = no_rx;
+    crossed = false;
   }
 
 let new_rx () =
@@ -103,6 +108,12 @@ and t = {
   mutable job_pool : tx_job array;
   mutable job_free : int;  (* jobs [0, job_free) are free *)
   obs : Obs.Bus.t;
+  (* PDES hook: decides whether a transmission concerns other shards and
+     posts remote copies; returns true when it did (see [radio.crossed]).
+     [remote_grace] is the extra unicast ACK wait a crossed transmission
+     needs (two crossings: data out, ACK back). *)
+  mutable remote : (Frame.t -> src:radio -> duration:Time.t -> bool) option;
+  mutable remote_grace : Time.t;
 }
 
 let create ~engine ?(mode = Grid) ?max_speed ?obs ~params () =
@@ -127,7 +138,16 @@ let create ~engine ?(mode = Grid) ?max_speed ?obs ~params () =
     job_pool = [||];
     job_free = 0;
     obs = (match obs with Some b -> b | None -> Obs.Bus.create ());
+    remote = None;
+    remote_grace = Time.zero;
   }
+
+let set_remote t ~grace fn =
+  t.remote <- Some fn;
+  t.remote_grace <- grace
+
+let remote_grace t = t.remote_grace
+let crossed r = r.crossed
 
 let params t = t.params
 let mode t = t.mode
@@ -147,6 +167,7 @@ let attach t ~id ~position =
       busy_count = 0;
       tx_count = 0;
       current_rx = no_rx;
+      crossed = false;
     }
   in
   t.next_seq <- t.next_seq + 1;
@@ -157,6 +178,7 @@ let attach t ~id ~position =
 let set_receiver r f = r.receive <- f
 let set_medium_listener r f = r.medium <- f
 let radio_id r = r.id
+let radio_pos r = r.position ()
 let transmitting r = r.tx_count > 0
 
 let carrier_busy r = r.busy_count > 0 || r.tx_count > 0
@@ -329,20 +351,16 @@ let end_of_tx job =
   job.job_src <- dummy_radio;
   free_job t job
 
-let transmit t src frame ~duration =
-  t.tx_total <- t.tx_total + 1;
-  List.iter (fun hook -> hook src.id frame) t.hooks;
-  if Obs.Bus.on t.obs then
-    Obs.Bus.tx t.obs
-      ~time:(Engine.now t.engine)
-      ~node:(Node_id.to_int src.id)
-      ~cls:(Obs.Bus.intern t.obs (Frame.class_name frame))
-      ~dst:(frame_dst_int frame) ~bytes:(Frame.encoded_length frame);
+(* Shared propagation body: collect the touched radios around [src_pos],
+   resolve capture, and arm the end-of-transmission event.  [transmit]
+   runs it for a local transmission; [transmit_from] for the remote copy
+   of a cross-shard one (a phantom source radio standing in for a node
+   homed on another shard). *)
+let propagate t src src_pos frame ~duration =
   (* Touched radios are fixed at transmission start: node movement within
      one frame airtime (~2 ms) is a fraction of a millimetre.  Radios out
      to the carrier-sense range defer and suffer interference; only those
      within decode range can receive the frame. *)
-  let src_pos = src.position () in
   let cs2 = t.params.cs_range_m *. t.params.cs_range_m in
   let rng2 = t.params.range_m *. t.params.range_m in
   let job = alloc_job t in
@@ -405,3 +423,37 @@ let transmit t src frame ~duration =
     end
   done;
   ignore (Engine.after_fn t.engine duration end_of_tx job)
+
+let transmit t src frame ~duration =
+  t.tx_total <- t.tx_total + 1;
+  List.iter (fun hook -> hook src.id frame) t.hooks;
+  if Obs.Bus.on t.obs then
+    Obs.Bus.tx t.obs
+      ~time:(Engine.now t.engine)
+      ~node:(Node_id.to_int src.id)
+      ~cls:(Obs.Bus.intern t.obs (Frame.class_name frame))
+      ~dst:(frame_dst_int frame) ~bytes:(Frame.encoded_length frame);
+  src.crossed <-
+    (match t.remote with None -> false | Some fn -> fn frame ~src ~duration);
+  propagate t src (src.position ()) frame ~duration
+
+(* Remote copy of a transmission whose source is homed on another shard.
+   The phantom radio carries the source's id and position snapshot; it
+   is not attached, so it never appears as a reception candidate, and
+   nothing global is counted again here — the home shard already paid
+   [tx_total], the transmit hooks and the obs Tx event. *)
+let transmit_from t ~src_id ~pos frame ~duration =
+  let phantom =
+    {
+      id = src_id;
+      seq = -2;
+      position = (fun () -> pos);
+      receive = ignore;
+      medium = ignore;
+      busy_count = 0;
+      tx_count = 0;
+      current_rx = no_rx;
+      crossed = false;
+    }
+  in
+  propagate t phantom pos frame ~duration

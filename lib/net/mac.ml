@@ -41,6 +41,10 @@ type t = {
           be outstanding (SIFS is far shorter than any frame airtime,
           and the capture logic delivers one frame per radio per
           instant) *)
+  mutable ack_frame : Frame.t;
+      (** cached ACK frame for [ack_to]; rebuilt only when the
+          destination changes, so the steady ACK exchange between two
+          talking nodes allocates nothing *)
   mutable failures : int;
   mutable sent : int;
   obs : Obs.Bus.t;  (* shared with the channel *)
@@ -122,9 +126,16 @@ and tx_done t =
       | Frame.Broadcast -> finish t
       | Frame.Unicast _ ->
           t.phase <- Await_ack;
-          t.ack_timer <-
-            Engine.after_fn t.engine (Params.ack_timeout t.params)
-              ack_timeout_expired t)
+          (* A transmission forwarded cross-shard (PDES) reaches remote
+             receivers one delivery latency late, and their ACK crosses
+             back with the same latency — wait out the round trip. *)
+          let timeout =
+            if Channel.crossed t.radio then
+              Time.add (Params.ack_timeout t.params)
+                (Channel.remote_grace t.channel)
+            else Params.ack_timeout t.params
+          in
+          t.ack_timer <- Engine.after_fn t.engine timeout ack_timeout_expired t)
 
 and ack_timeout_expired t =
   t.ack_timer <- Engine.none;
@@ -167,14 +178,16 @@ let ack_received t from =
 
 let send_ack_fire t =
   if not (Channel.transmitting t.radio) then
-    Channel.transmit t.channel t.radio
-      { Frame.src = t.my_id; dst = Frame.Unicast t.ack_to; body = Frame.Ack }
+    Channel.transmit t.channel t.radio t.ack_frame
       ~duration:(Params.ack_airtime t.params)
 
 let send_ack t ~to_ =
   (* ACKs answer after SIFS regardless of carrier sense (802.11), but a
      radio cannot transmit two frames at once. *)
-  t.ack_to <- to_;
+  if not (Node_id.equal to_ t.ack_to) then begin
+    t.ack_to <- to_;
+    t.ack_frame <- { Frame.src = t.my_id; dst = Frame.Unicast to_; body = Frame.Ack }
+  end;
   ignore (Engine.after_fn t.engine t.params.sifs send_ack_fire t)
 
 let on_frame t (f : Frame.t) =
@@ -202,10 +215,9 @@ let on_medium t busy =
         if Time.(elapsed > t.params.difs) then Time.diff elapsed t.params.difs
         else Time.zero
       in
-      let consumed =
-        Int64.to_int
-          (Int64.div (Time.to_ns after_difs) (Time.to_ns t.params.slot))
-      in
+      (* Time.t is an immediate int of nanoseconds; plain int division
+         avoids two Int64 boxes per medium-busy transition. *)
+      let consumed = (after_difs :> int) / (t.params.slot :> int) in
       t.slots <- Stdlib.max 0 (t.slots - consumed)
     end
   end
@@ -232,6 +244,7 @@ let create ~engine ~channel ~rng ~id ~position callbacks =
       access_started = Time.zero;
       ack_timer = Engine.none;
       ack_to = id;
+      ack_frame = { Frame.src = id; dst = Frame.Unicast id; body = Frame.Ack };
       failures = 0;
       sent = 0;
       obs = Channel.obs channel;

@@ -13,7 +13,11 @@ let classify = function
   | Dsr m -> `Control (Dsr_msg.kind m)
   | Olsr m -> `Control (Olsr_msg.kind m)
 
-let is_data t = match classify t with `Data _ -> true | `Control _ -> false
+(* Direct match — [classify] allocates its polymorphic-variant result,
+   which this per-transmission predicate must not. *)
+let is_data = function
+  | Data _ | Dsr (Dsr_msg.Data _) -> true
+  | Ldr _ | Aodv _ | Dsr _ | Olsr _ -> false
 
 (* [classify] without the payload: no allocation, for trace labels. *)
 let class_name = function

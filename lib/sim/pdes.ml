@@ -1,0 +1,258 @@
+(* Conservative synchronous-window PDES coordinator.
+
+   K engines advance in lock-step windows.  Each window spans
+   [start, we) where [we = min (earliest pending event + lookahead,
+   next forced boundary, horizon + 1)]: every shard whose earliest
+   event falls inside the window runs it to [we - 1ns], then the
+   coordinator drains cross-shard messages (in shard order, arming
+   order within a shard — deterministic regardless of worker count),
+   fires the boundary callback, and opens the next window.
+
+   The conservative guarantee is the caller's contract: a message
+   posted while a window executes must arrive at or after the window
+   end ([post] enforces it).  With that, no shard can ever receive an
+   event in its past, whatever the shard/worker interleaving — results
+   are a pure function of the window schedule, which itself depends
+   only on event times, the lookahead and the forced boundaries.
+
+   Worker domains are decoupled from the shard count: shard [i] is
+   always run by worker [i mod workers], so outboxes are single-writer
+   and outcomes do not depend on how many cores the host really has. *)
+
+type message = { m_dst : int; m_time_ns : int; m_fn : unit -> unit }
+
+type pool = {
+  mutex : Mutex.t;
+  work : Condition.t;
+  done_c : Condition.t;
+  mutable gen : int;
+  mutable we_ns : int;
+  mutable shutdown : bool;
+  mutable remaining : int;
+  exns : exn option array;
+  minor : float array; (* per-worker Gc.minor_words, recorded at shutdown *)
+  mutable doms : unit Domain.t list;
+}
+
+type t = {
+  engines : Engine.t array;
+  lookahead_ns : int;
+  outbox : message list array; (* per SOURCE shard, newest first *)
+  mutable forced : int list; (* requested boundary times, ascending *)
+  mutable on_boundary : Time.t -> unit;
+  mutable windows : int;
+  mutable messages : int;
+  mutable cur_we : int; (* exclusive end of the executing window *)
+  workers : int;
+  mutable pool : pool option;
+  mutable worker_minor : float array; (* from the last stopped pool *)
+}
+
+let create ?workers ~lookahead engines =
+  let k = Array.length engines in
+  if k = 0 then invalid_arg "Pdes.create: no engines";
+  let lookahead_ns = (lookahead : Time.t :> int) in
+  if lookahead_ns <= 0 then
+    invalid_arg "Pdes.create: lookahead must be positive";
+  let workers =
+    match workers with
+    | Some w -> Stdlib.max 1 (Stdlib.min w k)
+    | None -> Stdlib.max 1 (Stdlib.min (Domain.recommended_domain_count ()) k)
+  in
+  {
+    engines;
+    lookahead_ns;
+    outbox = Array.map (fun _ -> []) engines;
+    forced = [];
+    on_boundary = ignore;
+    windows = 0;
+    messages = 0;
+    cur_we = max_int;
+    workers;
+    pool = None;
+    worker_minor = [||];
+  }
+
+let shards t = Array.length t.engines
+let engine t i = t.engines.(i)
+let lookahead t = Time.unsafe_of_ns t.lookahead_ns
+let set_on_boundary t fn = t.on_boundary <- fn
+let window_end_ns t = t.cur_we
+
+let rec insert_sorted x = function
+  | [] -> [ x ]
+  | y :: _ as l when x < y -> x :: l
+  | y :: rest when x = y -> y :: rest
+  | y :: rest -> y :: insert_sorted x rest
+
+let request_boundary t time =
+  t.forced <- insert_sorted (time : Time.t :> int) t.forced
+
+(* Called from shard [src]'s events while a window executes — possibly
+   on a worker domain.  Only shard-[src]-local state is touched; the
+   coordinator reads the outboxes after the barrier. *)
+let post t ~src ~dst time fn =
+  let time_ns = (time : Time.t :> int) in
+  if t.cur_we <> max_int && time_ns < t.cur_we then
+    invalid_arg
+      (Printf.sprintf
+         "Pdes.post: arrival %d ns inside the current window (end %d ns) \
+          violates the lookahead bound"
+         time_ns t.cur_we);
+  t.outbox.(src) <- { m_dst = dst; m_time_ns = time_ns; m_fn = fn } :: t.outbox.(src)
+
+let run_shard_range t we_ns ~first ~stride =
+  let k = Array.length t.engines in
+  let until = Time.unsafe_of_ns (we_ns - 1) in
+  let i = ref first in
+  while !i < k do
+    let e = t.engines.(!i) in
+    if Engine.next_time_ns e < we_ns then Engine.run ~until e;
+    i := !i + stride
+  done
+
+let worker_loop t p d =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock p.mutex;
+    while (not p.shutdown) && p.gen = !seen do
+      Condition.wait p.work p.mutex
+    done;
+    if p.shutdown then begin
+      Mutex.unlock p.mutex;
+      p.minor.(d) <- Gc.minor_words ();
+      running := false
+    end
+    else begin
+      seen := p.gen;
+      let we = p.we_ns in
+      Mutex.unlock p.mutex;
+      (try run_shard_range t we ~first:d ~stride:t.workers
+       with exn -> p.exns.(d) <- Some exn);
+      Mutex.lock p.mutex;
+      p.remaining <- p.remaining - 1;
+      if p.remaining = 0 then Condition.signal p.done_c;
+      Mutex.unlock p.mutex
+    end
+  done
+
+let start_pool t =
+  let p =
+    {
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      done_c = Condition.create ();
+      gen = 0;
+      we_ns = 0;
+      shutdown = false;
+      remaining = 0;
+      exns = Array.make t.workers None;
+      minor = Array.make t.workers 0.;
+      doms = [];
+    }
+  in
+  p.doms <-
+    List.init t.workers (fun d -> Domain.spawn (fun () -> worker_loop t p d));
+  t.pool <- Some p
+
+let stop_pool t =
+  match t.pool with
+  | None -> ()
+  | Some p ->
+      Mutex.lock p.mutex;
+      p.shutdown <- true;
+      Condition.broadcast p.work;
+      Mutex.unlock p.mutex;
+      List.iter Domain.join p.doms;
+      t.worker_minor <- Array.copy p.minor;
+      t.pool <- None
+
+let run_window t we_ns =
+  match t.pool with
+  | None -> run_shard_range t we_ns ~first:0 ~stride:1
+  | Some p ->
+      Mutex.lock p.mutex;
+      p.we_ns <- we_ns;
+      p.remaining <- t.workers;
+      p.gen <- p.gen + 1;
+      Condition.broadcast p.work;
+      while p.remaining > 0 do
+        Condition.wait p.done_c p.mutex
+      done;
+      Mutex.unlock p.mutex;
+      Array.iteri
+        (fun d exn ->
+          match exn with
+          | Some e ->
+              p.exns.(d) <- None;
+              raise e
+          | None -> ())
+        p.exns
+
+let drain_outboxes t =
+  let k = Array.length t.engines in
+  for src = 0 to k - 1 do
+    match t.outbox.(src) with
+    | [] -> ()
+    | pending ->
+        t.outbox.(src) <- [];
+        List.iter
+          (fun m ->
+            t.messages <- t.messages + 1;
+            ignore
+              (Engine.at t.engines.(m.m_dst)
+                 (Time.unsafe_of_ns m.m_time_ns)
+                 m.m_fn))
+          (List.rev pending)
+  done
+
+let min_next_time t =
+  Array.fold_left
+    (fun acc e -> Stdlib.min acc (Engine.next_time_ns e))
+    max_int t.engines
+
+let run t ~until =
+  let until_ns = (until : Time.t :> int) in
+  if t.workers > 1 && t.pool = None then start_pool t;
+  Fun.protect
+    ~finally:(fun () ->
+      stop_pool t;
+      t.cur_we <- max_int)
+    (fun () ->
+      let running = ref true in
+      while !running do
+        let m = min_next_time t in
+        let f = match t.forced with [] -> max_int | x :: _ -> x in
+        if (m = max_int || m > until_ns) && (f = max_int || f > until_ns)
+        then running := false
+        else begin
+          let we =
+            let horizon = until_ns + 1 in
+            let by_event =
+              if m = max_int || m > max_int - t.lookahead_ns then max_int
+              else m + t.lookahead_ns
+            in
+            Stdlib.min (Stdlib.min by_event horizon) (Stdlib.min f max_int)
+          in
+          t.cur_we <- we;
+          t.windows <- t.windows + 1;
+          (* An empty window (forced boundary at or before the next
+             event) runs nothing and just fires the boundary. *)
+          if m < we then run_window t we;
+          t.cur_we <- max_int;
+          drain_outboxes t;
+          (match t.forced with
+          | x :: rest when x <= we -> t.forced <- rest
+          | _ -> ());
+          t.on_boundary (Time.unsafe_of_ns (Stdlib.min we until_ns))
+        end
+      done;
+      (* Idle virtual time passes on every shard, as in [Engine.run]. *)
+      Array.iter (fun e -> Engine.run ~until e) t.engines)
+
+type stats = { windows : int; messages : int }
+
+let stats (t : t) = { windows = t.windows; messages = t.messages }
+let workers t = t.workers
+let worker_minor_words t = t.worker_minor

@@ -1,0 +1,71 @@
+(** Conservative synchronous-window PDES coordinator.
+
+    Advances K {!Engine.t}s in lock-step windows of width [lookahead]:
+    each window ends at [min (earliest pending event across shards +
+    lookahead, next forced boundary, horizon + 1ns)]; shards with work
+    inside the window run it, then cross-shard messages buffered by
+    {!post} are drained — in shard order, arming order within a shard —
+    and the boundary callback fires.  Because {!post} rejects arrivals
+    inside the executing window (the lookahead bound), no shard ever
+    receives an event in its past and the outcome is independent of the
+    worker-domain count: shard [i] is always run by worker [i mod
+    workers], so per-shard state stays single-writer.
+
+    The caller owns what "cross-shard" means (the PDES runner in
+    [Experiment] shards the arena spatially and posts border-crossing
+    transmissions with a delivery latency of at least the lookahead);
+    this module only schedules windows and moves messages. *)
+
+type t
+
+val create : ?workers:int -> lookahead:Time.t -> Engine.t array -> t
+(** [workers] caps the domain fan-out (default
+    [Domain.recommended_domain_count ()]); it is always clamped to
+    [1 .. shards] and never affects results, only wall time.  Raises
+    [Invalid_argument] on an empty engine array or a non-positive
+    lookahead. *)
+
+val shards : t -> int
+val engine : t -> int -> Engine.t
+val lookahead : t -> Time.t
+val workers : t -> int
+(** Resolved worker-domain count ([1] means the coordinator runs every
+    shard inline). *)
+
+val post : t -> src:int -> dst:int -> Time.t -> (unit -> unit) -> unit
+(** Buffer a cross-shard message from shard [src]'s executing event:
+    [fn] will be scheduled on shard [dst]'s engine at the given absolute
+    time when the current window closes.  Must only be called from
+    shard [src]'s own events (outboxes are single-writer).  Raises
+    [Invalid_argument] if the arrival time falls inside the executing
+    window — that would violate the conservative lookahead bound. *)
+
+val request_boundary : t -> Time.t -> unit
+(** Force a window boundary at exactly the given time: no window will
+    span it, and events at that time run only after the boundary
+    callback.  Used for occupancy refresh cadences and quiesced fault
+    injection. *)
+
+val set_on_boundary : t -> (Time.t -> unit) -> unit
+(** Callback fired at every window boundary (after message drain) with
+    the boundary time, clamped to the run horizon.  All shards are
+    quiesced when it runs; it may inspect any shard, schedule events at
+    or after the boundary, and call {!request_boundary}. *)
+
+val window_end_ns : t -> int
+(** Exclusive end (ns) of the window currently executing, [max_int]
+    outside one.  Exposed for tests asserting the lookahead bound. *)
+
+val run : t -> until:Time.t -> unit
+(** Drive all shards to the horizon.  Every shard's clock ends at
+    [until], as with [Engine.run ~until]. *)
+
+type stats = { windows : int; messages : int }
+
+val stats : t -> stats
+(** Windows executed and cross-shard messages delivered so far. *)
+
+val worker_minor_words : t -> float array
+(** Per-worker-domain [Gc.minor_words] totals, recorded when the last
+    worker pool shut down (end of {!run}).  Empty when the run executed
+    inline on the calling domain (workers = 1). *)

@@ -238,6 +238,7 @@ let scenario ?(seed = 7) ?(duration = 30.) () =
     audit_loops = true;
     naive_channel = false;
     heap_scheduler = false;
+    shards = 1;
   }
 
 (* A healthy LDR-AGG run must keep the monitor silent: the wrapper may

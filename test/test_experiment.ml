@@ -33,6 +33,7 @@ let small_scenario ?(protocol = Scenario.ldr) ?(seed = 7) ?(audit = false)
     audit_loops = audit;
     naive_channel = false;
     heap_scheduler = false;
+    shards = 1;
   }
 
 let static_delivery ?(threshold = 0.95) protocol () =

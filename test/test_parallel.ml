@@ -55,6 +55,7 @@ let small_scenario ?(seed = 7) ?(audit = false) ?(speed_max = 10.)
     audit_loops = audit;
     naive_channel = false;
     heap_scheduler = false;
+    shards = 1;
   }
 
 (* ---- executor ---------------------------------------------------------- *)
