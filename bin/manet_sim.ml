@@ -126,6 +126,30 @@ let sample_out =
     & info [ "sample-out" ] ~docv:"FILE"
         ~doc:"Destination for $(b,--sample) output.")
 
+let telemetry_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:"Write runtime telemetry (events/s, calendar-queue occupancy, \
+              PDES window utilisation, GC counters) to $(docv) as JSONL, \
+              one sample per $(b,--telemetry-every).")
+
+let telemetry_prom =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry-prom" ] ~docv:"FILE"
+        ~doc:"Maintain a Prometheus text-format snapshot of the same \
+              gauges at $(docv), atomically replaced on every sample \
+              (validate with $(b,manet_sim telemetry)).")
+
+let telemetry_every =
+  Arg.(
+    value & opt float 1.
+    & info [ "telemetry-every" ] ~docv:"DT"
+        ~doc:"Telemetry sampling interval in simulated seconds.")
+
 let inject_stale =
   Arg.(
     value
@@ -224,7 +248,8 @@ let print_outcome_json (o : Runner.outcome) =
   Printf.printf
     "{\"originated\":%d,\"delivered\":%d,\"duplicates\":%d,\
      \"delivery_ratio\":%s,\"mean_latency_ms\":%s,\"median_latency_ms\":%s,\
-     \"p95_latency_ms\":%s,\"mean_hops\":%s,\"network_load\":%s,\
+     \"p95_latency_ms\":%s,\"p99_latency_ms\":%s,\"mean_hops\":%s,\
+     \"network_load\":%s,\
      \"byte_load\":%s,\
      \"rreq_load\":%s,\"control_tx\":%d,\"control_by_kind\":{%s},\
      \"control_bytes\":%d,\"control_bytes_by_kind\":{%s},\
@@ -238,6 +263,7 @@ let print_outcome_json (o : Runner.outcome) =
     (json_float (Metrics.mean_latency_ms m))
     (json_float (Metrics.median_latency_ms m))
     (json_float (Metrics.p95_latency_ms m))
+    (json_float (Metrics.p99_latency_ms m))
     (json_float (Metrics.mean_hops m))
     (json_float (Metrics.network_load m))
     (json_float (Metrics.byte_load m))
@@ -259,9 +285,9 @@ let print_outcome (o : Runner.outcome) =
   Format.printf "delivered         %d (+%d duplicate copies)@."
     (Metrics.delivered m) (Metrics.duplicates m);
   Format.printf "delivery ratio    %.4f@." (Metrics.delivery_ratio m);
-  Format.printf "mean latency      %.2f ms (median %.2f, p95 %.2f)@."
+  Format.printf "mean latency      %.2f ms (median %.2f, p95 %.2f, p99 %.2f)@."
     (Metrics.mean_latency_ms m) (Metrics.median_latency_ms m)
-    (Metrics.p95_latency_ms m);
+    (Metrics.p95_latency_ms m) (Metrics.p99_latency_ms m);
   Format.printf "mean path length  %.2f hops@." (Metrics.mean_hops m);
   Format.printf "network load      %.3f control tx / delivered@."
     (Metrics.network_load m);
@@ -299,7 +325,7 @@ let print_outcome (o : Runner.outcome) =
 let run_cmd =
   let action protocol nodes width height flows pps pause speed_max duration
       seed audit trace json trace_out pcap_out monitor sample sample_out
-      inject_stale shards =
+      telemetry_out telemetry_prom telemetry_every inject_stale shards =
     if trace then Trace.enable ();
     let sc =
       scenario ~shards protocol nodes width height flows pps pause speed_max
@@ -331,7 +357,8 @@ let run_cmd =
     let outcome =
       Runner.run ~monitor ?trace_out ?pcap_out
         ?sample:(Option.map Time.sec sample)
-        ~sample_out ?prepare ?prepare_pdes sc
+        ~sample_out ?telemetry_out ?telemetry_prom
+        ~telemetry_every:(Time.sec telemetry_every) ?prepare ?prepare_pdes sc
     in
     if json then print_outcome_json outcome else print_outcome outcome
   in
@@ -339,7 +366,8 @@ let run_cmd =
     Term.(
       const action $ protocol $ nodes $ width $ height $ flows $ pps $ pause
       $ speed_max $ duration $ seed $ audit $ trace $ json $ trace_out
-      $ pcap_out $ monitor $ sample $ sample_out $ inject_stale $ shards)
+      $ pcap_out $ monitor $ sample $ sample_out $ telemetry_out
+      $ telemetry_prom $ telemetry_every $ inject_stale $ shards)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one scenario and print its metrics.") term
 
@@ -450,6 +478,23 @@ let trace_cmd =
                 — from the file's transmissions.  The same run's JSONL \
                 trace and pcap capture print identical tables.")
   in
+  let spans =
+    Arg.(
+      value & flag
+      & info [ "spans" ]
+          ~doc:"Reconstruct per-packet causal spans from the trace and \
+                print the critical-path analysis: completeness, \
+                discovery activity, p50/p95/p99 latency by stage \
+                (buffer/queue/access/air) and a per-flow waterfall.")
+  in
+  let flow =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "flow" ] ~docv:"F"
+          ~doc:"With $(b,--spans): additionally print flow $(docv)'s \
+                per-packet stage table.")
+  in
   let print_class_counts counts =
     List.iter
       (fun (cls, (count, bytes)) -> Printf.printf "%s %d %d\n" cls count bytes)
@@ -493,7 +538,7 @@ let trace_cmd =
                 | Ok _ -> assert false)
         end
   in
-  let action file node dst drops violations k classes =
+  let action file node dst drops violations k classes spans flow =
     if Net.Pcap.is_pcap_file file then pcap_action file classes
     else
     match Obs.Reader.load file with
@@ -518,6 +563,11 @@ let trace_cmd =
         | Some d -> section (Obs.Reader.flaps t ~dst:d)
         | None -> ());
         if drops then section (Obs.Reader.drop_report t);
+        if spans then
+          section
+            (Obs.Span.report ?flow
+               ~name:(Obs.Reader.name t)
+               (Obs.Reader.events t));
         if violations then begin
           printed := true;
           let n = Obs.Reader.violations t in
@@ -535,18 +585,47 @@ let trace_cmd =
   in
   let term =
     Term.(
-      const action $ file $ node $ dst $ drops $ violations $ k $ classes)
+      const action $ file $ node $ dst $ drops $ violations $ k $ classes
+      $ spans $ flow)
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Analyse a JSONL trace (per-node timelines, route flaps, drop \
-          breakdowns, violation windows) or a pcap capture (per-class \
-          transmission counts).  With no query flags, prints totals.")
+          breakdowns, violation windows, per-packet causal spans) or a \
+          pcap capture (per-class transmission counts).  With no query \
+          flags, prints totals.")
+    term
+
+let telemetry_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Prometheus text-format snapshot written by \
+                $(b,--telemetry-prom).")
+  in
+  let action file =
+    match Obs.Telemetry.validate_prom file with
+    | Ok names -> List.iter print_endline names
+    | Error e ->
+        prerr_endline e;
+        Stdlib.exit 1
+  in
+  let term = Term.(const action $ file) in
+  Cmd.v
+    (Cmd.info "telemetry"
+       ~doc:
+         "Validate a Prometheus text-format telemetry snapshot (metric \
+          and label syntax, numeric values) and print its sorted metric \
+          names — the stability contract CI checks.")
     term
 
 let () =
   let doc = "MANET routing simulator (LDR / AODV / DSR / OLSR)" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "manet_sim" ~doc) [ run_cmd; sweep_cmd; trace_cmd ]))
+       (Cmd.group
+          (Cmd.info "manet_sim" ~doc)
+          [ run_cmd; sweep_cmd; trace_cmd; telemetry_cmd ]))

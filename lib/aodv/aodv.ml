@@ -157,6 +157,13 @@ let rec issue_rreq t dst pend =
     }
   in
   t.ctx.event "rreq_init";
+  if Obs.Bus.on t.ctx.obs then
+    Obs.Bus.span t.ctx.obs
+      ~time:(Engine.now t.ctx.engine)
+      ~node:(Node_id.to_int t.ctx.id)
+      ~stage:Obs.Span.Stage.ring ~flow:(-1) ~seq:(-1)
+      ~d:(Node_id.to_int dst) ~e:rreq.Aodv_msg.ttl
+      ~f:rreq.Aodv_msg.rreq_id;
   send_aodv t ~dst:Net.Frame.Broadcast (Aodv_msg.Rreq rreq);
   let timeout = Routing.Discovery.attempt_timeout t.cfg.ring ~ttl:pend.p_ttl in
   pend.p_timer <-
@@ -447,9 +454,10 @@ let factory ?(config = default_config) () (ctx : RA.ctx) =
         Routing.Rreq_cache.create ~engine:ctx.engine
           ~ttl:config.rreq_cache_ttl;
       buffer =
-        Routing.Packet_buffer.create ~engine:ctx.engine
+        Routing.Packet_buffer.create ~obs:ctx.obs
+          ~owner:(Node_id.to_int ctx.id) ~engine:ctx.engine
           ~capacity:config.buffer_capacity ~max_age:config.buffer_max_age
-          ~on_drop:ctx.drop_data;
+          ~on_drop:ctx.drop_data ();
       own_sn = 0;
       next_rreq_id = 0;
       pending = Node_id.Table.create 8;

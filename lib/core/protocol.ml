@@ -103,6 +103,16 @@ let fresh_rreq_id t =
   t.next_rreq_id <- t.next_rreq_id + 1;
   t.next_rreq_id
 
+(* Discovery-side span: one record per ring/probe attempt, keyed by the
+   sought destination and rreq id rather than a packet's (flow, seq). *)
+let emit_ring_span t ~dst ~ttl ~rreq_id =
+  if Obs.Bus.on t.ctx.RA.obs then
+    Obs.Bus.span t.ctx.RA.obs
+      ~time:(Engine.now t.ctx.RA.engine)
+      ~node:(Node_id.to_int t.ctx.RA.id)
+      ~stage:Obs.Span.Stage.ring ~flow:(-1) ~seq:(-1)
+      ~d:(Node_id.to_int dst) ~e:ttl ~f:rreq_id
+
 let request_invariants t dst =
   match Route_table.find t.table dst with
   | None -> (None, Conditions.infinity)
@@ -128,6 +138,7 @@ let rec issue_rreq t dst pend =
     }
   in
   t.ctx.event ~dst "rreq_init";
+  emit_ring_span t ~dst ~ttl:rreq.Ldr_msg.ttl ~rreq_id:rreq.Ldr_msg.rreq_id;
   send_ldr t ~dst:Net.Frame.Broadcast (Ldr_msg.Rreq rreq);
   let timeout =
     Routing.Discovery.attempt_timeout t.cfg.ring ~ttl:pend.p_ttl
@@ -407,6 +418,8 @@ let n_bit_probe t dst =
             }
           in
           t.ctx.event ~dst "rreq_init";
+          emit_ring_span t ~dst ~ttl:rreq.Ldr_msg.ttl
+            ~rreq_id:rreq.Ldr_msg.rreq_id;
           send_ldr t ~dst:(Net.Frame.Unicast nh) (Ldr_msg.Rreq rreq))
 
 let handle_rrep t (r : Ldr_msg.rrep) ~from =
@@ -538,9 +551,10 @@ let make ?(config = Config.default) (ctx : RA.ctx) =
         Routing.Rreq_cache.create ~engine:ctx.engine
           ~ttl:config.rreq_cache_ttl;
       buffer =
-        Routing.Packet_buffer.create ~engine:ctx.engine
+        Routing.Packet_buffer.create ~obs:ctx.obs
+          ~owner:(Node_id.to_int ctx.id) ~engine:ctx.engine
           ~capacity:config.buffer_capacity ~max_age:config.buffer_max_age
-          ~on_drop:ctx.drop_data;
+          ~on_drop:ctx.drop_data ();
       own_sn = Seqnum.initial ~stamp:0;
       own_increments = 0;
       next_rreq_id = 0;

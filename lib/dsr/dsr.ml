@@ -97,6 +97,12 @@ let rec issue_rreq t dst pend =
     { Dsr_msg.origin = t.ctx.id; dst; rreq_id = fresh_rreq_id t; route = []; ttl }
   in
   t.ctx.event "rreq_init";
+  if Obs.Bus.on t.ctx.obs then
+    Obs.Bus.span t.ctx.obs
+      ~time:(Engine.now t.ctx.engine)
+      ~node:(Node_id.to_int t.ctx.id)
+      ~stage:Obs.Span.Stage.ring ~flow:(-1) ~seq:(-1)
+      ~d:(Node_id.to_int dst) ~e:rreq.Dsr_msg.ttl ~f:rreq.Dsr_msg.rreq_id;
   send_dsr t ~dst:Net.Frame.Broadcast (Dsr_msg.Rreq rreq);
   pend.p_timer <-
     Some
@@ -373,9 +379,10 @@ let factory ?(config = default_config) () (ctx : RA.ctx) =
       seen = Routing.Rreq_cache.create ~engine:ctx.engine ~ttl:(Time.sec 30.);
       shortened = Routing.Rreq_cache.create ~engine:ctx.engine ~ttl:(Time.sec 1.);
       buffer =
-        Routing.Packet_buffer.create ~engine:ctx.engine
+        Routing.Packet_buffer.create ~obs:ctx.obs
+          ~owner:(Node_id.to_int ctx.id) ~engine:ctx.engine
           ~capacity:config.buffer_capacity ~max_age:config.buffer_max_age
-          ~on_drop:ctx.drop_data;
+          ~on_drop:ctx.drop_data ();
       next_rreq_id = 0;
       pending = Node_id.Table.create 8;
     }

@@ -5,7 +5,10 @@ type t = {
   mutable delivered : int;
   mutable duplicates : int;
   latency : Stats.Welford.t;
-  latency_q : Stats.Quantile.t;
+  (* Percentiles come from a log-bucketed histogram over integer
+     nanoseconds: O(1) add, exactly mergeable across PDES shards
+     (bucket counts just sum), no sort-per-query reservoir. *)
+  latency_h : Stats.Hdr.t;
   hop_count : Stats.Welford.t;
   seen : (int, unit) Hashtbl.t;  (* delivered uids, packed *)
   control_tx : (string, int ref) Hashtbl.t;
@@ -19,10 +22,11 @@ type t = {
   mutable loop_violations : int;
   mutable mean_dest_seqno : float;
   (* Per-delivery journal, recorded only by PDES shards: merging the
-     per-shard Welford/quantile states directly would re-associate the
-     float sums, so [merge_all] instead replays every shard's samples in
+     per-shard Welford states directly would re-associate the float
+     sums, so [merge_all] instead replays every shard's samples in
      global delivery-time order into fresh accumulators — bit-identical
-     to the single-engine run, which adds in exactly that order. *)
+     to the single-engine run, which adds in exactly that order.  (The
+     integer histogram needs no replay; bucket sums are exact.) *)
   journal : bool;
   mutable j_time : int array;  (* delivery time, ns *)
   mutable j_lat : float array;
@@ -36,7 +40,7 @@ let create ?(journal = false) () =
     delivered = 0;
     duplicates = 0;
     latency = Stats.Welford.create ();
-    latency_q = Stats.Quantile.create ~rng_seed:17 ();
+    latency_h = Stats.Hdr.create ();
     hop_count = Stats.Welford.create ();
     seen = Hashtbl.create 4096;
     control_tx = Hashtbl.create 8;
@@ -100,10 +104,11 @@ let data_delivered t ~now msg =
   else begin
     Hashtbl.replace t.seen uid ();
     t.delivered <- t.delivered + 1;
+    let latency_ns = (Sim.Time.diff now msg.Data_msg.origin_time :> int) in
     let latency_ms = Sim.Time.to_ms (Sim.Time.diff now msg.Data_msg.origin_time) in
     let hops = float_of_int msg.Data_msg.hops in
     Stats.Welford.add t.latency latency_ms;
-    Stats.Quantile.add t.latency_q latency_ms;
+    Stats.Hdr.add t.latency_h latency_ns;
     Stats.Welford.add t.hop_count hops;
     if t.journal then journal_sample t ~now latency_ms hops
   end
@@ -153,7 +158,10 @@ let merge_all parts =
       add_tbl m.control_tx p.control_tx;
       add_tbl m.control_bytes p.control_bytes;
       add_tbl m.events p.events;
-      add_tbl m.drops p.drops)
+      add_tbl m.drops p.drops;
+      (* Histogram buckets are plain int counts: merging is exact and
+         order-independent, so no replay is needed for percentiles. *)
+      Stats.Hdr.merge_into ~into:m.latency_h p.latency_h)
     parts;
   let total = List.fold_left (fun acc p -> acc + p.j_n) 0 parts in
   let time = Array.make (Stdlib.max 1 total) 0 in
@@ -172,7 +180,6 @@ let merge_all parts =
   Array.iter
     (fun i ->
       Stats.Welford.add m.latency lat.(i);
-      Stats.Quantile.add m.latency_q lat.(i);
       Stats.Welford.add m.hop_count hops.(i))
     order;
   m
@@ -190,8 +197,13 @@ let delivery_ratio t =
   else float_of_int t.delivered /. float_of_int t.originated
 
 let mean_latency_ms t = Stats.Welford.mean t.latency
-let median_latency_ms t = Stats.Quantile.median t.latency_q
-let p95_latency_ms t = Stats.Quantile.p95 t.latency_q
+let latency_quantile_ms t q =
+  float_of_int (Stats.Hdr.quantile t.latency_h q) /. 1e6
+
+let median_latency_ms t = latency_quantile_ms t 0.5
+let p95_latency_ms t = latency_quantile_ms t 0.95
+let p99_latency_ms t = latency_quantile_ms t 0.99
+let latency_histogram t = t.latency_h
 let mean_hops t = Stats.Welford.mean t.hop_count
 
 let control_by_kind t =

@@ -46,8 +46,19 @@ val delivery_ratio : t -> float
 val mean_latency_ms : t -> float
 
 val median_latency_ms : t -> float
+(** Percentiles read a log-bucketed {!Stats.Hdr} histogram over integer
+    nanoseconds: within-bucket resolution (~0.8% at the default
+    sub-bucket width), exact at the recorded min/max, and exactly
+    mergeable across PDES shards. *)
 
 val p95_latency_ms : t -> float
+val p99_latency_ms : t -> float
+
+val latency_quantile_ms : t -> float -> float
+(** [latency_quantile_ms t q] for arbitrary [q] in [0, 1]. *)
+
+val latency_histogram : t -> Stats.Hdr.t
+(** The underlying delivery-latency histogram (values in ns). *)
 
 val mean_hops : t -> float
 (** Mean path length (MAC transmissions) of delivered packets. *)

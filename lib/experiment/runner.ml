@@ -183,9 +183,20 @@ let build ?on_engine ?obs (sc : Scenario.t) =
     agents.(i) <- factory ctx
   done;
   Array.iter (fun (a : Routing.Agent.t) -> a.start ()) agents;
+  (* The span trail starts at the application boundary: one Originate
+     record per data packet, before the agent sees it. *)
+  let span_originate ~src (msg : Data_msg.t) =
+    if Obs.Bus.on bus then
+      Obs.Bus.span bus ~time:(Engine.now engine) ~node:(Node_id.to_int src)
+        ~stage:Obs.Span.Stage.originate ~flow:msg.Data_msg.flow_id
+        ~seq:msg.Data_msg.seq
+        ~d:(Node_id.to_int msg.Data_msg.dst)
+        ~e:msg.Data_msg.payload_bytes ~f:(-1)
+  in
   Traffic.setup ~engine ~rng:traffic_rng ~num_nodes:n ~config:sc.traffic
     ~until:sc.duration
     ~emit:(fun ~src msg ->
+      span_originate ~src msg;
       Metrics.data_originated metrics msg;
       agents.(Node_id.to_int src).Routing.Agent.origin_data msg);
   let injected = ref 0 in
@@ -198,6 +209,7 @@ let build ?on_engine ?obs (sc : Scenario.t) =
         ~payload_bytes:sc.traffic.Traffic.payload_bytes
         ~origin_time:(Engine.now engine)
     in
+    span_originate ~src:(Node_id.of_int src) msg;
     Metrics.data_originated metrics msg;
     agents.(src).Routing.Agent.origin_data msg
   in
@@ -240,6 +252,21 @@ let attach_monitor ?ring ?quiet sim =
   sim.monitor <- Some m;
   m
 
+let attach_telemetry sim ?jsonl ?prom ~every ~until () =
+  if Time.(every <= Time.zero) then
+    invalid_arg "Runner.attach_telemetry: interval must be positive";
+  let c = Obs.Telemetry.create ?jsonl ?prom () in
+  let sample () =
+    Obs.Telemetry.record c ~time:(Engine.now sim.engine)
+      ~domains:[| Obs.Telemetry.domain_of_engine sim.engine |]
+      ()
+  in
+  Engine.every sim.engine ~start:Time.zero ~interval:every ~until sample;
+  (* As with the sampler: [every] stops strictly before [until], so a
+     one-shot closes the series at the horizon without duplicating. *)
+  ignore (Engine.at sim.engine until sample);
+  sim.cleanup <- (fun () -> Obs.Telemetry.close c) :: sim.cleanup
+
 let attach_sampler sim ~every ~until path =
   let oc = open_out path in
   Sampler.attach ~engine:sim.engine ~metrics:sim.sim_metrics
@@ -276,7 +303,8 @@ let resolve_shards (sc : Scenario.t) =
   if sc.shards = 0 then Parallel.effective_jobs ~items:sc.num_nodes 0
   else sc.shards
 
-let run_pdes ?workers ~monitor ?prepare (sc : Scenario.t) ~shards:k =
+let run_pdes ?workers ~monitor ?trace_out ?telemetry_out ?telemetry_prom
+    ?telemetry_every ?prepare (sc : Scenario.t) ~shards:k =
   let n = sc.num_nodes in
   if n = 0 then invalid_arg "Runner.run: a sharded run needs nodes";
   let part = Geom.Partition.stripes ~terrain:sc.terrain ~k in
@@ -419,6 +447,13 @@ let run_pdes ?workers ~monitor ?prepare (sc : Scenario.t) ~shards:k =
       let r = home.(Node_id.to_int f.Traffic.f_src) in
       Traffic.arm ~engine:engines.(r) ~config:sc.traffic
         ~emit:(fun ~src msg ->
+          (if Obs.Bus.on buses.(r) then
+             Obs.Bus.span buses.(r)
+               ~time:(Engine.now engines.(r))
+               ~node:(Node_id.to_int src) ~stage:Obs.Span.Stage.originate
+               ~flow:msg.Data_msg.flow_id ~seq:msg.Data_msg.seq
+               ~d:(Node_id.to_int msg.Data_msg.dst)
+               ~e:msg.Data_msg.payload_bytes ~f:(-1));
           Metrics.data_originated shard_metrics.(r) msg;
           agents.(Node_id.to_int src).Routing.Agent.origin_data msg)
         f)
@@ -476,6 +511,21 @@ let run_pdes ?workers ~monitor ?prepare (sc : Scenario.t) ~shards:k =
     Pdes.request_boundary pdes at;
     injections := (at, fn) :: !injections
   in
+  (* Telemetry samples ride the existing window-boundary callback (all
+     shards quiesced), so enabling it never alters the window schedule
+     or any shard's event stream.  Boundaries land every [lookahead]
+     (~70 us), far denser than any sensible cadence. *)
+  let telemetry =
+    match (telemetry_out, telemetry_prom) with
+    | None, None -> None
+    | jsonl, prom ->
+        let every =
+          match telemetry_every with Some e -> e | None -> Time.sec 1.
+        in
+        if Time.(every <= Time.zero) then
+          invalid_arg "Runner.run: telemetry interval must be positive";
+        Some (Obs.Telemetry.create ?jsonl ?prom (), every, ref every)
+  in
   let next_refresh = ref refresh_period in
   Pdes.set_on_boundary pdes (fun tb ->
       if max_speed > 0. && tb >= !next_refresh then begin
@@ -484,6 +534,23 @@ let run_pdes ?workers ~monitor ?prepare (sc : Scenario.t) ~shards:k =
         if !next_refresh <= until then
           Pdes.request_boundary pdes !next_refresh
       end;
+      (match telemetry with
+      | Some (c, every, next) when tb >= !next && tb < until ->
+          let s = Pdes.stats pdes in
+          Obs.Telemetry.record c ~time:tb
+            ~domains:(Array.map Obs.Telemetry.domain_of_engine engines)
+            ~pdes:
+              {
+                Obs.Telemetry.pg_windows = s.Pdes.windows;
+                pg_utilization = Pdes.window_utilization pdes;
+                pg_mirrors = s.Pdes.messages;
+                pg_worker_minor = Pdes.live_worker_minor_words pdes;
+              }
+            ();
+          while !next <= tb do
+            next := Time.add !next every
+          done
+      | _ -> ());
       match !injections with
       | [] -> ()
       | pending ->
@@ -492,6 +559,21 @@ let run_pdes ?workers ~monitor ?prepare (sc : Scenario.t) ~shards:k =
           List.iter (fun (_, fn) -> fn ()) (List.rev due));
   refresh_bands Time.zero;
   if max_speed > 0. then Pdes.request_boundary pdes refresh_period;
+  (* One JSONL stream per region, merged by time after the run; as on
+     the classic path, trace sinks attach before the monitors so a
+     violation's ring dump and the trace agree on event order. *)
+  let shard_trace r path = Printf.sprintf "%s.shard%d" path r in
+  let trace_ocs =
+    match trace_out with
+    | None -> [||]
+    | Some path ->
+        Array.mapi
+          (fun r bus ->
+            let oc = open_out (shard_trace r path) in
+            Obs.Bus.add_sink bus (Obs.Jsonl.sink bus oc);
+            oc)
+          buses
+  in
   let monitors =
     if monitor then
       Array.to_list
@@ -515,6 +597,30 @@ let run_pdes ?workers ~monitor ?prepare (sc : Scenario.t) ~shards:k =
   in
   (match prepare with Some f -> f psim | None -> ());
   Pdes.run pdes ~until;
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+      Array.iter close_out trace_ocs;
+      let inputs = List.init k (fun r -> shard_trace r path) in
+      Obs.Jsonl.merge_time_sorted ~inputs ~output:path;
+      List.iter Sys.remove inputs);
+  (match telemetry with
+  | None -> ()
+  | Some (c, _, _) ->
+      (* Horizon sample (every shard has quiesced at [until]), matching
+         the classic path's final one-shot. *)
+      let s = Pdes.stats pdes in
+      Obs.Telemetry.record c ~time:until
+        ~domains:(Array.map Obs.Telemetry.domain_of_engine engines)
+        ~pdes:
+          {
+            Obs.Telemetry.pg_windows = s.Pdes.windows;
+            pg_utilization = Pdes.window_utilization pdes;
+            pg_mirrors = s.Pdes.messages;
+            pg_worker_minor = Pdes.live_worker_minor_words pdes;
+          }
+        ();
+      Obs.Telemetry.close c);
   let merged = Metrics.merge_all (Array.to_list shard_metrics) in
   let total = ref 0. in
   Array.iter
@@ -543,7 +649,8 @@ let run_pdes ?workers ~monitor ?prepare (sc : Scenario.t) ~shards:k =
   }
 
 let run_classic ?on_engine ?obs ?monitor ?trace_out ?pcap_out ?sample
-    ?sample_out ?prepare (sc : Scenario.t) =
+    ?sample_out ?telemetry_out ?telemetry_prom ?telemetry_every ?prepare
+    (sc : Scenario.t) =
   let sim = build ?on_engine ?obs sc in
   (* Let in-flight packets (and their latency) resolve briefly after the
      last origination. *)
@@ -554,6 +661,13 @@ let run_classic ?on_engine ?obs ?monitor ?trace_out ?pcap_out ?sample
   (match trace_out with Some path -> attach_trace sim path | None -> ());
   (match pcap_out with Some path -> attach_pcap sim path | None -> ());
   if monitor = Some true then ignore (attach_monitor sim);
+  (match (telemetry_out, telemetry_prom) with
+  | None, None -> ()
+  | jsonl, prom ->
+      let every =
+        match telemetry_every with Some e -> e | None -> Time.sec 1.
+      in
+      attach_telemetry sim ?jsonl ?prom ~every ~until ());
   (match sample with
   | Some every ->
       let path = match sample_out with Some p -> p | None -> "samples.jsonl" in
@@ -579,7 +693,8 @@ let run_classic ?on_engine ?obs ?monitor ?trace_out ?pcap_out ?sample
   }
 
 let run ?on_engine ?obs ?monitor ?trace_out ?pcap_out ?sample ?sample_out
-    ?prepare ?prepare_pdes ?pdes_workers (sc : Scenario.t) =
+    ?telemetry_out ?telemetry_prom ?telemetry_every ?prepare ?prepare_pdes
+    ?pdes_workers (sc : Scenario.t) =
   let shards = resolve_shards sc in
   if shards >= 2 then begin
     let reject what o =
@@ -591,12 +706,12 @@ let run ?on_engine ?obs ?monitor ?trace_out ?pcap_out ?sample ?sample_out
     in
     reject "on_engine" on_engine;
     reject "obs" obs;
-    reject "trace_out" trace_out;
     reject "pcap_out" pcap_out;
     reject "sample" sample;
     reject "prepare (use prepare_pdes)" prepare;
-    run_pdes ?workers:pdes_workers ~monitor:(monitor = Some true)
-      ?prepare:prepare_pdes sc ~shards
+    run_pdes ?workers:pdes_workers ~monitor:(monitor = Some true) ?trace_out
+      ?telemetry_out ?telemetry_prom ?telemetry_every ?prepare:prepare_pdes
+      sc ~shards
   end
   else begin
     (match prepare_pdes with
@@ -605,5 +720,6 @@ let run ?on_engine ?obs ?monitor ?trace_out ?pcap_out ?sample ?sample_out
           "Runner.run: prepare_pdes requires shards >= 2 (use prepare)"
     | None -> ());
     run_classic ?on_engine ?obs ?monitor ?trace_out ?pcap_out ?sample
-      ?sample_out ?prepare sc
+      ?sample_out ?telemetry_out ?telemetry_prom ?telemetry_every ?prepare
+      sc
   end

@@ -71,6 +71,9 @@ val run :
   ?pcap_out:string ->
   ?sample:Sim.Time.t ->
   ?sample_out:string ->
+  ?telemetry_out:string ->
+  ?telemetry_prom:string ->
+  ?telemetry_every:Sim.Time.t ->
   ?prepare:(sim -> unit) ->
   ?prepare_pdes:(psim -> unit) ->
   ?pdes_workers:int ->
@@ -86,9 +89,13 @@ val run :
     (they pin execution to one worker domain); [prepare_pdes] is the
     sharded analogue of [prepare]; [pdes_workers] caps the worker
     domains (default: recommended domain count, capped at K).
-    [on_engine], [obs], [trace_out], [pcap_out], [sample] and
-    [prepare] raise [Invalid_argument] under sharding, as does
-    [prepare_pdes] on a classic run.
+    [on_engine], [obs], [pcap_out], [sample] and [prepare] raise
+    [Invalid_argument] under sharding, as does [prepare_pdes] on a
+    classic run.  [trace_out] works under sharding: each region
+    streams to [<path>.shard<r>] and the files are k-way merged by
+    virtual time (ties keep shard order) into [path] when the run
+    ends — on a border-free scenario the result is byte-identical to
+    the classic trace.
 
     [obs]: supply the observability bus (default: a fresh one —
     disabled unless something below attaches a sink).
@@ -97,7 +104,15 @@ val run :
     [pcap_out]: capture every transmitted frame, byte-exact, to this
     pcap file ({!Net.Pcap}).
     [sample]: write time-series gauges every [sample] of virtual time
-    to [sample_out] (default ["samples.jsonl"]).
+    to [sample_out] (default ["samples.jsonl"]); a final sample is
+    always taken at the horizon, whatever the interval.
+    [telemetry_out] / [telemetry_prom]: runtime telemetry
+    ({!Obs.Telemetry}) as JSONL samples and/or an atomically-replaced
+    Prometheus text snapshot, every [telemetry_every] of virtual time
+    (default 1 s) plus once at the horizon.  Works on both paths:
+    classic runs sample from an engine cadence, sharded runs from the
+    quiesced window-boundary callback — neither perturbs the
+    simulation.
     [prepare]: runs on the built simulation just before the engine
     starts — the hook for fault injection ({!Fault}) and custom sinks.
 
@@ -137,7 +152,15 @@ val attach_monitor : ?ring:int -> ?quiet:bool -> sim -> Obs.Monitor.t
 
 val attach_sampler : sim -> every:Sim.Time.t -> until:Sim.Time.t ->
   string -> unit
-(** Schedule gauge sampling to a JSONL file; closed by {!finish}. *)
+(** Schedule gauge sampling to a JSONL file; closed by {!finish}.  A
+    final sample fires at exactly [until] even when [until] is not a
+    multiple of [every]. *)
+
+val attach_telemetry : sim -> ?jsonl:string -> ?prom:string ->
+  every:Sim.Time.t -> until:Sim.Time.t -> unit -> unit
+(** Schedule {!Obs.Telemetry} sampling every [every] of virtual time
+    (plus a final sample at [until]); the collector is closed by
+    {!finish}. *)
 
 val finish : sim -> unit
 (** Run [finalize] and every registered cleanup (idempotent on the

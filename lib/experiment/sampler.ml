@@ -46,4 +46,12 @@ let attach ~engine ~metrics ~channel ~macs ~agents ~every ~until ~oc =
     invalid_arg "Sampler.attach: interval must be positive";
   let st = { last_t = Engine.now engine; last_ctl = 0 } in
   Engine.every engine ~start:Time.zero ~interval:every ~until (fun () ->
-      emit ~engine ~metrics ~channel ~macs ~agents ~oc st)
+      emit ~engine ~metrics ~channel ~macs ~agents ~oc st);
+  (* [Engine.every] fires strictly before [until], so whatever the
+     interval the run would otherwise end without a sample at the
+     horizon — the one most post-processing scripts read last.  A
+     one-shot at exactly [until] closes the series and can never
+     duplicate a periodic firing. *)
+  ignore
+    (Engine.at engine until (fun () ->
+         emit ~engine ~metrics ~channel ~macs ~agents ~oc st))

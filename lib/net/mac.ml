@@ -58,6 +58,24 @@ let emit_rx t payload ~from ~dst =
     ~from:(Node_id.to_int from)
     ~dst:(match dst with Frame.Broadcast -> -1 | Frame.Unicast d -> Node_id.to_int d)
 
+let frame_dst_int = function
+  | Frame.Broadcast -> -1
+  | Frame.Unicast d -> Node_id.to_int d
+
+(* One span record per MAC lifecycle stage of a data frame, keyed by
+   the packet's out-of-band (flow, seq) id.  Control frames are not
+   spanned.  Call sites guard with [Obs.Bus.on] first, so the disabled
+   path pays nothing beyond its existing branch. *)
+let emit_span t ~stage payload ~d ~e =
+  let flow = Payload.data_flow payload in
+  if flow >= 0 then
+    Obs.Bus.span t.obs
+      ~time:(Engine.now t.engine)
+      ~node:(Node_id.to_int t.my_id)
+      ~stage ~flow
+      ~seq:(Payload.data_seq payload)
+      ~d ~e ~f:(-1)
+
 let id t = t.my_id
 let queue_length t = Ifq.length t.queue
 let queue_drops t = Ifq.drops t.queue
@@ -79,6 +97,8 @@ let rec dequeue_next t =
       t.current <- Some p;
       t.attempts <- 1;
       t.cw <- t.params.cw_min;
+      if Obs.Bus.on t.obs then
+        emit_span t ~stage:Obs.Span.Stage.mac_deq p.payload ~d:(-1) ~e:(-1);
       begin_access t
 
 and begin_access t =
@@ -110,6 +130,9 @@ and do_transmit t =
   | Some p ->
       t.phase <- Sending;
       t.sent <- t.sent + 1;
+      if Obs.Bus.on t.obs then
+        emit_span t ~stage:Obs.Span.Stage.mac_try p.payload ~d:(-1)
+          ~e:t.attempts;
       let frame = payload_frame t p in
       let duration = frame_duration t frame in
       Channel.transmit t.channel t.radio frame ~duration;
@@ -144,6 +167,11 @@ and ack_timeout_expired t =
   | Some { dst = Frame.Broadcast; _ } | None -> assert false
 
 and finish t =
+  (* Read the frame before clearing it — the span needs its id. *)
+  (match t.current with
+  | Some p when Obs.Bus.on t.obs ->
+      emit_span t ~stage:Obs.Span.Stage.mac_end p.payload ~d:(-1) ~e:t.attempts
+  | Some _ | None -> ());
   t.current <- None;
   t.phase <- Idle;
   dequeue_next t
@@ -151,6 +179,9 @@ and finish t =
 and retry t p next_hop =
   if t.attempts >= t.params.retry_limit then begin
     t.failures <- t.failures + 1;
+    if Obs.Bus.on t.obs then
+      emit_span t ~stage:Obs.Span.Stage.mac_fail p.payload
+        ~d:(Node_id.to_int next_hop) ~e:t.attempts;
     t.current <- None;
     t.phase <- Idle;
     t.cb.link_failure p.payload ~next_hop;
@@ -256,13 +287,17 @@ let create ~engine ~channel ~rng ~id ~position callbacks =
 
 let send t ~dst payload =
   let accepted = Ifq.push t.queue { payload; dst } in
-  if (not accepted) && Obs.Bus.on t.obs then
-    Obs.Bus.ifq_drop t.obs
-      ~time:(Engine.now t.engine)
-      ~node:(Node_id.to_int t.my_id)
-      ~cls:(Obs.Bus.intern t.obs (Payload.class_name payload))
-      ~dst:
-        (match dst with
-        | Frame.Broadcast -> -1
-        | Frame.Unicast d -> Node_id.to_int d);
+  if Obs.Bus.on t.obs then
+    if accepted then
+      emit_span t ~stage:Obs.Span.Stage.mac_enq payload ~d:(frame_dst_int dst)
+        ~e:(-1)
+    else begin
+      Obs.Bus.ifq_drop t.obs
+        ~time:(Engine.now t.engine)
+        ~node:(Node_id.to_int t.my_id)
+        ~cls:(Obs.Bus.intern t.obs (Payload.class_name payload))
+        ~dst:(frame_dst_int dst);
+      emit_span t ~stage:Obs.Span.Stage.mac_drop payload
+        ~d:(frame_dst_int dst) ~e:(-1)
+    end;
   if accepted && t.phase = Idle && t.current = None then dequeue_next t

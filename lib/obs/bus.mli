@@ -63,3 +63,10 @@ val table_write :
 val violation :
   t -> time:Sim.Time.t -> node:int -> dst:int -> succ:int -> own_sn:int ->
   succ_sn:int -> own_fd:int -> succ_fd:int -> unit
+
+val span :
+  t -> time:Sim.Time.t -> node:int -> stage:int -> flow:int -> seq:int ->
+  d:int -> e:int -> f:int -> unit
+(** Packet-lifecycle span record; [stage] is a {!Span.Stage} code,
+    [(flow, seq)] the out-of-band trace id (-1/-1 for discovery-side
+    stages). *)

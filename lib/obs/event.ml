@@ -9,6 +9,7 @@ type kind =
   | Proto
   | Table_write
   | Violation
+  | Span
 
 type t = {
   mutable time : Sim.Time.t;
@@ -59,6 +60,7 @@ let kind_name = function
   | Proto -> "evt"
   | Table_write -> "rt"
   | Violation -> "viol"
+  | Span -> "sp"
 
 let kind_of_name = function
   | "tx" -> Some Tx
@@ -71,11 +73,29 @@ let kind_of_name = function
   | "evt" -> Some Proto
   | "rt" -> Some Table_write
   | "viol" -> Some Violation
+  | "sp" -> Some Span
   | _ -> None
 
 let has_label = function
   | Tx | Rx | Collision | Ifq_drop | Data_drop | Proto -> true
-  | Deliver | Link_failure | Table_write | Violation -> false
+  | Deliver | Link_failure | Table_write | Violation | Span -> false
+
+(* Span lifecycle stages, encoded in field [a].  The table lives here
+   (not in Span) so [pp] can render stage names without a dependency
+   cycle. *)
+let span_stage_name = function
+  | 0 -> "originate"
+  | 1 -> "buf_enter"
+  | 2 -> "buf_exit"
+  | 3 -> "mac_enq"
+  | 4 -> "mac_deq"
+  | 5 -> "mac_try"
+  | 6 -> "mac_end"
+  | 7 -> "mac_fail"
+  | 8 -> "mac_drop"
+  | 9 -> "ring"
+  | 10 -> "agg"
+  | _ -> "?"
 
 (* Is this event part of the causal neighbourhood of destination [dst]?
    The invariant monitor's ring-buffer dump and the trace analyzer's
@@ -87,7 +107,7 @@ let relevant_to ~dst ev =
   | Proto -> ev.b = dst
   | Data_drop -> ev.e = dst
   | Link_failure -> true
-  | Tx | Rx | Collision | Ifq_drop | Deliver -> false
+  | Tx | Rx | Collision | Ifq_drop | Deliver | Span -> false
 
 (* Packed sequence numbers ([Seqnum.pack]): stamp in the high bits,
    counter in the low 31. *)
@@ -126,3 +146,9 @@ let pp ~name fmt ev =
       Format.fprintf fmt
         "VIOLATION dst n%d succ n%d: own sn %a fd %d, succ sn %a fd %d" ev.a
         ev.b pp_sn ev.c ev.e pp_sn ev.d ev.f
+  | Span ->
+      Format.fprintf fmt "SPAN %s flow %d seq %d" (span_stage_name ev.a) ev.b
+        ev.c;
+      if ev.d >= 0 then Format.fprintf fmt " d=%d" ev.d;
+      if ev.e >= 0 then Format.fprintf fmt " e=%d" ev.e;
+      if ev.f >= 0 then Format.fprintf fmt " f=%d" ev.f

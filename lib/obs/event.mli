@@ -24,7 +24,10 @@
       successor (-1 = route invalidated), d = distance, e = feasible
       distance, f = packed sequence number ({!Packets.Seqnum.pack})
     - [Violation]: a = destination, b = successor, c = own packed sn,
-      d = successor's packed sn, e = own fd, f = successor's fd *)
+      d = successor's packed sn, e = own fd, f = successor's fd
+    - [Span]: a = lifecycle stage code ({!span_stage_name}), b = flow
+      id (-1 for discovery stages), c = seq (-1 for discovery stages),
+      d/e/f = stage-specific (see {!Span.Stage}) *)
 
 type kind =
   | Tx
@@ -37,6 +40,7 @@ type kind =
   | Proto
   | Table_write
   | Violation
+  | Span
 
 type t = {
   mutable time : Sim.Time.t;
@@ -62,6 +66,9 @@ val copy_into : src:t -> dst:t -> unit
 
 val kind_name : kind -> string
 val kind_of_name : string -> kind option
+
+val span_stage_name : int -> string
+(** Name of a [Span] stage code (field [a]); ["?"] for unknown codes. *)
 
 val has_label : kind -> bool
 (** Whether field [a] is an interned-string id ({!Bus.name} resolves

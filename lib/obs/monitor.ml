@@ -87,7 +87,11 @@ let check t (ev : Event.t) =
       end
 
 let sink t (ev : Event.t) =
-  push t ev;
+  (* Span records are pure lifecycle telemetry — never
+     destination-relevant, so keeping them out of the ring preserves
+     the PR-3 window contents (and the analyzer's reconstruction,
+     which skips them symmetrically in [Reader.violation_window]). *)
+  if ev.kind <> Event.Span then push t ev;
   match ev.kind with
   | Event.Table_write when ev.c >= 0 -> check t ev
   | _ -> ()

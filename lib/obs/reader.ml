@@ -61,6 +61,8 @@ let load path =
       else Ok { events = Array.of_list (List.rev !events); bus }
 
 let length t = Array.length t.events
+let events t = t.events
+let name t i = Bus.name t.bus i
 let render t ev = Format.asprintf "%a" (Event.pp ~name:(Bus.name t.bus)) ev
 
 (* ---- Queries ----------------------------------------------------------- *)
@@ -163,17 +165,24 @@ let violations t = List.length (violation_indices t)
 
 (* Reconstruct the monitor's ring dump for the [i]th violation: the
    last [k] raw events before the violation line, filtered by the same
-   destination-relevance predicate the monitor uses. *)
+   destination-relevance predicate the monitor uses.  Span events
+   never enter the monitor's ring, so they don't consume window
+   capacity here either — only non-Span events count toward [k]. *)
 let violation_window ?(k = Monitor.default_ring) t i =
   match List.nth_opt (violation_indices t) i with
   | None -> None
   | Some pos ->
       let dst = t.events.(pos).Event.a in
-      let lo = Stdlib.max 0 (pos - k) in
       let acc = ref [] in
-      for j = pos - 1 downto lo do
-        let ev = t.events.(j) in
-        if Event.relevant_to ~dst ev then acc := render t ev :: !acc
+      let seen = ref 0 in
+      let j = ref (pos - 1) in
+      while !j >= 0 && !seen < k do
+        let ev = t.events.(!j) in
+        if ev.Event.kind <> Event.Span then begin
+          incr seen;
+          if Event.relevant_to ~dst ev then acc := render t ev :: !acc
+        end;
+        decr j
       done;
       Some (render t t.events.(pos), !acc)
 
@@ -193,9 +202,22 @@ let summary t =
       (fun acc (ev : Event.t) -> Stdlib.max acc (ev.time :> int))
       0 t.events
   in
-  Printf.sprintf "%d events, %d nodes, %.3f s span" (Array.length t.events)
-    (Hashtbl.length nodes)
-    (float_of_int span /. 1e9)
-  :: (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counts []
-     |> List.sort compare
-     |> List.map (fun (k, c) -> Printf.sprintf "  %-6s %d" k c))
+  let head =
+    Printf.sprintf "%d events, %d nodes, %.3f s span" (Array.length t.events)
+      (Hashtbl.length nodes)
+      (float_of_int span /. 1e9)
+    :: (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counts []
+       |> List.sort compare
+       |> List.map (fun (k, c) -> Printf.sprintf "  %-6s %d" k c))
+  in
+  (* Per-class byte totals from the Tx events, so the airtime view is
+     available from a JSONL trace alone (previously pcap-only). *)
+  match tx_class_counts t with
+  | [] -> head
+  | classes ->
+      head
+      @ "tx bytes by class:"
+        :: List.map
+             (fun (cls, (count, bytes)) ->
+               Printf.sprintf "  %-6s %d tx, %d B" cls count bytes)
+             classes

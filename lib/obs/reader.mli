@@ -8,6 +8,13 @@ type t
 val load : string -> (t, string) result
 val length : t -> int
 
+val events : t -> Event.t array
+(** The raw loaded events in trace order (caller must not mutate) —
+    the span analyzer ({!Span}) reconstructs packet paths from these. *)
+
+val name : t -> int -> string
+(** Resolve an interned label id from the trace's private table. *)
+
 val tx_class_counts : t -> (string * (int * int)) list
 (** Per traffic class: [(transmissions, total on-air bytes)] from the
     trace's TX events, sorted by class name — directly comparable with
@@ -32,4 +39,5 @@ val violation_window : ?k:int -> t -> int -> (string * string list) option
     filtered by {!Event.relevant_to} for its destination. *)
 
 val summary : t -> string list
-(** Event totals by kind. *)
+(** Event totals by kind, plus per-class transmission byte totals when
+    the trace contains TX events. *)

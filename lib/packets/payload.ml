@@ -19,6 +19,17 @@ let is_data = function
   | Data _ | Dsr (Dsr_msg.Data _) -> true
   | Ldr _ | Aodv _ | Dsr _ | Olsr _ -> false
 
+(* Out-of-band trace id of a data packet, allocation-free: (flow, seq)
+   ride in [Data_msg] end-to-end, so span records need nothing added
+   to the wire.  -1 for control payloads. *)
+let data_flow = function
+  | Data d | Dsr (Dsr_msg.Data { data = d; _ }) -> d.Data_msg.flow_id
+  | Ldr _ | Aodv _ | Dsr _ | Olsr _ -> -1
+
+let data_seq = function
+  | Data d | Dsr (Dsr_msg.Data { data = d; _ }) -> d.Data_msg.seq
+  | Ldr _ | Aodv _ | Dsr _ | Olsr _ -> -1
+
 (* [classify] without the payload: no allocation, for trace labels. *)
 let class_name = function
   | Data _ | Dsr (Dsr_msg.Data _) -> "DATA"

@@ -14,6 +14,12 @@ val classify : t -> [ `Data of Data_msg.t | `Control of string ]
 
 val is_data : t -> bool
 
+val data_flow : t -> int
+val data_seq : t -> int
+(** The data packet's out-of-band trace id (flow id / per-flow seq),
+    -1 for control payloads.  Allocation-free; span emission keys on
+    these. *)
+
 val class_name : t -> string
 (** The {!classify} bucket name without the payload — "DATA" or the
     control kind — allocation-free, for trace labels. *)

@@ -70,7 +70,7 @@ let flush t =
   | rev_items ->
       t.batch <- [];
       let items = List.rev rev_items in
-      let send_group ~wrap ~single = function
+      let send_group ~wrap ~single ~info = function
         | [] -> ()
         | [ q ] -> t.ctx.send ~dst:Net.Frame.Broadcast (single q)
         | qs ->
@@ -78,15 +78,31 @@ let flush t =
             for _ = 2 to List.length qs do
               t.ctx.event "rreq_aggregated"
             done;
+            (* One discovery span per member, tagged with the batch
+               size, so the analyzer can attribute aggregation
+               membership per sought destination. *)
+            if Obs.Bus.on t.ctx.obs then begin
+              let batch = List.length qs in
+              List.iter
+                (fun q ->
+                  let dst, rreq_id = info q in
+                  Obs.Bus.span t.ctx.obs ~time:(now t)
+                    ~node:(Node_id.to_int t.ctx.id)
+                    ~stage:Obs.Span.Stage.agg ~flow:(-1) ~seq:(-1)
+                    ~d:(Node_id.to_int dst) ~e:batch ~f:rreq_id)
+                qs
+            end;
             t.ctx.send ~dst:Net.Frame.Broadcast (wrap qs)
       in
       send_group
         ~wrap:(fun qs -> Payload.Ldr (Ldr_msg.Rreq_agg qs))
         ~single:(fun q -> Payload.Ldr (Ldr_msg.Rreq q))
+        ~info:(fun q -> (q.Ldr_msg.dst, q.Ldr_msg.rreq_id))
         (List.filter_map (function L q -> Some q | A _ -> None) items);
       send_group
         ~wrap:(fun qs -> Payload.Aodv (Aodv_msg.Rreq_agg qs))
         ~single:(fun q -> Payload.Aodv (Aodv_msg.Rreq q))
+        ~info:(fun q -> (q.Aodv_msg.dst, q.Aodv_msg.rreq_id))
         (List.filter_map (function A q -> Some q | L _ -> None) items)
 
 let enqueue t item =

@@ -10,11 +10,33 @@ type t = {
   on_drop : Data_msg.t -> reason:string -> unit;
   by_dst : item Queue.t Node_id.Table.t;
   mutable count : int;
+  obs : Obs.Bus.t;
+  owner : int; (* node id for span records, -1 unattributed *)
 }
 
-let create ~engine ~capacity ~max_age ~on_drop =
+let create ?obs ?(owner = -1) ~engine ~capacity ~max_age ~on_drop () =
   if capacity <= 0 then invalid_arg "Packet_buffer.create: capacity";
-  { engine; capacity; max_age; on_drop; by_dst = Node_id.Table.create 16; count = 0 }
+  let obs = match obs with Some b -> b | None -> Obs.Bus.create () in
+  {
+    engine;
+    capacity;
+    max_age;
+    on_drop;
+    by_dst = Node_id.Table.create 16;
+    count = 0;
+    obs;
+    owner;
+  }
+
+(* Buffer residency spans: enter on push, exit on take.  Packets that
+   expire or are evicted get no exit span — their Data_drop event ends
+   the path, and the analyzer treats the residency as unterminated. *)
+let emit_span t ~stage (msg : Data_msg.t) =
+  Obs.Bus.span t.obs
+    ~time:(Engine.now t.engine)
+    ~node:t.owner ~stage ~flow:msg.Data_msg.flow_id ~seq:msg.Data_msg.seq
+    ~d:(Node_id.to_int msg.Data_msg.dst)
+    ~e:(-1) ~f:(-1)
 
 let fresh t item =
   Time.(Time.add item.buffered_at t.max_age > Engine.now t.engine)
@@ -75,7 +97,8 @@ let push t msg =
      destination's queue. *)
   let q = queue_for t dst in
   Queue.push { msg; buffered_at = Engine.now t.engine } q;
-  t.count <- t.count + 1
+  t.count <- t.count + 1;
+  if Obs.Bus.on t.obs then emit_span t ~stage:Obs.Span.Stage.buf_enter msg
 
 let take t dst =
   match Node_id.Table.find_opt t.by_dst dst with
@@ -86,7 +109,12 @@ let take t dst =
       t.count <- t.count - Queue.length q;
       Queue.clear q;
       Node_id.Table.remove t.by_dst dst;
-      List.map (fun i -> i.msg) items
+      List.map
+        (fun i ->
+          if Obs.Bus.on t.obs then
+            emit_span t ~stage:Obs.Span.Stage.buf_exit i.msg;
+          i.msg)
+        items
 
 let drop_all t dst ~reason =
   List.iter (fun msg -> t.on_drop msg ~reason) (take t dst)

@@ -9,11 +9,16 @@ open Packets
 type t
 
 val create :
+  ?obs:Obs.Bus.t ->
+  ?owner:int ->
   engine:Sim.Engine.t ->
   capacity:int ->
   max_age:Sim.Time.t ->
   on_drop:(Data_msg.t -> reason:string -> unit) ->
+  unit ->
   t
+(** [obs]/[owner] enable buffer-residency span records ([buf_enter] on
+    {!push}, [buf_exit] on {!take}) attributed to node [owner]. *)
 
 val push : t -> Data_msg.t -> unit
 (** Buffer a packet for [Data_msg.dst].  When full, the oldest buffered

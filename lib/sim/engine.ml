@@ -311,6 +311,17 @@ let stats t =
   in
   { pending; fired = t.fired }
 
+let calendar_buckets t =
+  match t.sched with Heap _ -> 0 | Cal q -> Calendar_queue.num_buckets q
+
+let calendar_occupancy t =
+  match t.sched with
+  | Heap _ -> 0.
+  | Cal q ->
+      let buckets = Calendar_queue.num_buckets q in
+      if buckets = 0 then 0.
+      else float_of_int (Calendar_queue.live_count q) /. float_of_int buckets
+
 (* Replay a recorded workload through a fresh engine with no-op
    callbacks: pure scheduler cost, on the public scheduling API each
    mode actually pays (the heap path wraps its closure, the calendar

@@ -97,6 +97,13 @@ val stats : t -> stats
     cancelled) and total fired events.  O(1) under either scheduler;
     the time-series sampler reads this each interval. *)
 
+val calendar_buckets : t -> int
+(** Current calendar-wheel bucket count; 0 under the heap scheduler. *)
+
+val calendar_occupancy : t -> float
+(** Pending events per calendar bucket (the wheel resizes to keep this
+    near 1); 0 under the heap scheduler.  Telemetry gauge. *)
+
 (** Recorded scheduler workloads, for the engine benchmark: the exact
     schedule/cancel/pop op sequence of a run, replayable through either
     scheduler with no-op callbacks.  This isolates the engine hot path

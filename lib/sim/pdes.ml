@@ -42,6 +42,7 @@ type t = {
   mutable on_boundary : Time.t -> unit;
   mutable windows : int;
   mutable messages : int;
+  mutable busy : int; (* sum over windows of shards with work inside *)
   mutable cur_we : int; (* exclusive end of the executing window *)
   workers : int;
   mutable pool : pool option;
@@ -67,6 +68,7 @@ let create ?workers ~lookahead engines =
     on_boundary = ignore;
     windows = 0;
     messages = 0;
+    busy = 0;
     cur_we = max_int;
     workers;
     pool = None;
@@ -130,6 +132,10 @@ let worker_loop t p d =
       Mutex.unlock p.mutex;
       (try run_shard_range t we ~first:d ~stride:t.workers
        with exn -> p.exns.(d) <- Some exn);
+      (* Refresh this worker's GC gauge every window (not just at
+         shutdown) so boundary-time telemetry sees live values; the
+         coordinator only reads after the barrier below. *)
+      p.minor.(d) <- Gc.minor_words ();
       Mutex.lock p.mutex;
       p.remaining <- p.remaining - 1;
       if p.remaining = 0 then Condition.signal p.done_c;
@@ -237,6 +243,9 @@ let run t ~until =
           in
           t.cur_we <- we;
           t.windows <- t.windows + 1;
+          Array.iter
+            (fun e -> if Engine.next_time_ns e < we then t.busy <- t.busy + 1)
+            t.engines;
           (* An empty window (forced boundary at or before the next
              event) runs nothing and just fires the boundary. *)
           if m < we then run_window t we;
@@ -254,5 +263,20 @@ let run t ~until =
 type stats = { windows : int; messages : int }
 
 let stats (t : t) = { windows = t.windows; messages = t.messages }
+
+(* Mean fraction of shards with work inside their window, over all
+   windows so far.  1.0 means every window kept every shard busy. *)
+let window_utilization (t : t) =
+  if t.windows = 0 then 0.
+  else
+    float_of_int t.busy
+    /. float_of_int (t.windows * Array.length t.engines)
+
 let workers t = t.workers
 let worker_minor_words t = t.worker_minor
+
+(* Live view during a run: the pool's per-worker gauges are refreshed
+   by each worker at the end of every window, and this must only be
+   called with shards quiesced (e.g. from the boundary callback). *)
+let live_worker_minor_words t =
+  match t.pool with Some p -> p.minor | None -> t.worker_minor

@@ -65,7 +65,16 @@ type stats = { windows : int; messages : int }
 val stats : t -> stats
 (** Windows executed and cross-shard messages delivered so far. *)
 
+val window_utilization : t -> float
+(** Mean fraction of shards that had work inside their window, over
+    all windows so far; 0 before the first window.  Telemetry gauge. *)
+
 val worker_minor_words : t -> float array
 (** Per-worker-domain [Gc.minor_words] totals, recorded when the last
     worker pool shut down (end of {!run}).  Empty when the run executed
     inline on the calling domain (workers = 1). *)
+
+val live_worker_minor_words : t -> float array
+(** Per-worker gauges refreshed at the end of every window.  Safe to
+    read only while shards are quiesced (the boundary callback); falls
+    back to {!worker_minor_words} when no pool is running. *)

@@ -122,6 +122,7 @@ let buffer_push_take () =
   let b =
     Routing.Packet_buffer.create ~engine ~capacity:10 ~max_age:(Time.sec 30.)
       ~on_drop:(fun m ~reason -> drops := (m, reason) :: !drops)
+      ()
   in
   Routing.Packet_buffer.push b (msg ~flow:1 ~src:0 ~dst:5 ());
   Routing.Packet_buffer.push b (msg ~flow:2 ~src:0 ~dst:5 ());
@@ -145,6 +146,7 @@ let buffer_timeout () =
   let b =
     Routing.Packet_buffer.create ~engine ~capacity:10 ~max_age:(Time.sec 5.)
       ~on_drop:(fun m ~reason -> drops := (m, reason) :: !drops)
+      ()
   in
   Routing.Packet_buffer.push b (msg ~src:0 ~dst:5 ());
   ignore
@@ -162,6 +164,7 @@ let buffer_capacity_evicts_oldest () =
   let b =
     Routing.Packet_buffer.create ~engine ~capacity:2 ~max_age:(Time.sec 30.)
       ~on_drop:(fun m ~reason -> drops := (m, reason) :: !drops)
+      ()
   in
   (* Distinct push times so age ordering is defined. *)
   ignore (Engine.at engine (Time.ms 1.) (fun () ->
@@ -184,6 +187,7 @@ let buffer_drop_all () =
   let b =
     Routing.Packet_buffer.create ~engine ~capacity:10 ~max_age:(Time.sec 30.)
       ~on_drop:(fun m ~reason -> drops := (m, reason) :: !drops)
+      ()
   in
   Routing.Packet_buffer.push b (msg ~flow:1 ~src:0 ~dst:5 ());
   Routing.Packet_buffer.push b (msg ~flow:2 ~src:0 ~dst:5 ());
@@ -200,6 +204,7 @@ let buffer_table_stays_bounded () =
   let b =
     Routing.Packet_buffer.create ~engine ~capacity:4 ~max_age:(Time.sec 30.)
       ~on_drop:(fun _ ~reason:_ -> ())
+      ()
   in
   for i = 0 to 199 do
     Routing.Packet_buffer.push b (msg ~flow:i ~src:0 ~dst:(i mod 100) ())

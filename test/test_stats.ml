@@ -128,6 +128,122 @@ let quantile_interleaved_reads () =
   checkf "median of 1..100" 50. (Quantile.quantile q 0.4949);
   checkf "p99ish" 99. (Quantile.quantile q 0.99)
 
+
+(* ---- Hdr: log-bucketed histogram -------------------------------------- *)
+
+let hdr_exact_small () =
+  let h = Hdr.create () in
+  List.iter (Hdr.add h) [ 5; 1; 3; 2; 4 ];
+  (* Values below 2^sub_bits live in width-1 buckets: exact. *)
+  Alcotest.check Alcotest.int "median" 3 (Hdr.quantile h 0.5);
+  Alcotest.check Alcotest.int "min" 1 (Hdr.quantile h 0.);
+  Alcotest.check Alcotest.int "max" 5 (Hdr.quantile h 1.);
+  Alcotest.check Alcotest.int "count" 5 (Hdr.count h);
+  Alcotest.check Alcotest.int "sum" 15 (Hdr.sum h);
+  checkf "mean" 3. (Hdr.mean h)
+
+let hdr_empty_and_bounds () =
+  let h = Hdr.create () in
+  Alcotest.check Alcotest.int "empty quantile" 0 (Hdr.quantile h 0.5);
+  Alcotest.check Alcotest.int "empty min" 0 (Hdr.min_value h);
+  Alcotest.check Alcotest.int "empty max" 0 (Hdr.max_value h);
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Hdr.quantile: q outside [0,1]") (fun () ->
+      ignore (Hdr.quantile h 1.5));
+  Alcotest.check_raises "sub_bits out of range"
+    (Invalid_argument "Hdr.create: sub_bits outside [0, 14]") (fun () ->
+      ignore (Hdr.create ~sub_bits:15 ()));
+  Hdr.add h (-3);
+  Alcotest.check Alcotest.int "negatives clamp to 0" 0 (Hdr.quantile h 1.)
+
+let hdr_extremes_clamped () =
+  let h = Hdr.create () in
+  Hdr.add h 7;
+  Hdr.add h 5_000_000;
+  Hdr.add h 5_000_000;
+  (* Quantiles clamp to the recorded min/max, so single-valued tails
+     come back exact even in wide buckets. *)
+  Alcotest.check Alcotest.int "p0 exact" 7 (Hdr.quantile h 0.);
+  Alcotest.check Alcotest.int "p100 exact" 5_000_000 (Hdr.quantile h 1.);
+  Alcotest.check Alcotest.int "max_value" 5_000_000 (Hdr.max_value h);
+  Alcotest.check Alcotest.int "min_value" 7 (Hdr.min_value h)
+
+(* HDR quantile vs the exact sorted-array nearest-rank answer: always
+   >= the exact value, and within the same bucket (so the error is
+   bounded by the bucket's equivalent-value range). *)
+let hdr_vs_sorted_prop =
+  QCheck.Test.make ~count:200 ~name:"hdr quantile within bucket of exact"
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 400) (int_bound 2_000_000))
+        (make ~print:string_of_float Gen.(float_bound_inclusive 1.0)))
+    (fun (xs, q) ->
+      let h = Hdr.create () in
+      List.iter (Hdr.add h) xs;
+      let sorted = Array.of_list (List.sort compare xs) in
+      let n = Array.length sorted in
+      let rank =
+        let r = int_of_float (Float.ceil (q *. float_of_int n)) in
+        if r < 1 then 1 else if r > n then n else r
+      in
+      let exact = sorted.(rank - 1) in
+      let approx = Hdr.quantile h q in
+      approx >= exact
+      && approx <= Hdr.highest_equivalent h exact
+      && Hdr.lowest_equivalent h approx <= exact)
+
+let hdr_of_list xs =
+  let h = Hdr.create () in
+  List.iter (Hdr.add h) xs;
+  h
+
+let hdr_equal a b =
+  Hdr.count a = Hdr.count b && Hdr.sum a = Hdr.sum b
+  && Hdr.min_value a = Hdr.min_value b
+  && Hdr.max_value a = Hdr.max_value b
+  &&
+  let buckets h =
+    let acc = ref [] in
+    Hdr.iter_buckets h (fun ~value ~count -> acc := (value, count) :: !acc);
+    !acc
+  in
+  buckets a = buckets b
+
+(* Merge is exactly the histogram of the concatenation, whichever way
+   the parts are associated or ordered — the property Metrics relies on
+   to merge PDES shards without replay. *)
+let hdr_merge_assoc_prop =
+  QCheck.Test.make ~count:100 ~name:"hdr merge associative/commutative"
+    QCheck.(
+      triple
+        (list_of_size Gen.(0 -- 100) (int_bound 10_000_000))
+        (list_of_size Gen.(0 -- 100) (int_bound 10_000_000))
+        (list_of_size Gen.(0 -- 100) (int_bound 10_000_000)))
+    (fun (xs, ys, zs) ->
+      let whole = hdr_of_list (xs @ ys @ zs) in
+      (* (x <- y) <- z *)
+      let left = hdr_of_list xs in
+      Hdr.merge_into ~into:left (hdr_of_list ys);
+      Hdr.merge_into ~into:left (hdr_of_list zs);
+      (* x <- (y <- z) *)
+      let yz = hdr_of_list ys in
+      Hdr.merge_into ~into:yz (hdr_of_list zs);
+      let right = hdr_of_list xs in
+      Hdr.merge_into ~into:right yz;
+      (* z <- y <- x: commuted order *)
+      let comm = hdr_of_list zs in
+      Hdr.merge_into ~into:comm (hdr_of_list ys);
+      Hdr.merge_into ~into:comm (hdr_of_list xs);
+      hdr_equal whole left && hdr_equal left right && hdr_equal right comm)
+
+let hdr_merge_mismatch () =
+  let a = Hdr.create ~sub_bits:7 () in
+  let b = Hdr.create ~sub_bits:8 () in
+  Alcotest.check_raises "sub_bits mismatch"
+    (Invalid_argument "Hdr.merge_into: sub_bits mismatch") (fun () ->
+      Hdr.merge_into ~into:a b)
+
+
 let table_renders () =
   let s =
     Table.render ~header:[ "name"; "value" ]
@@ -176,6 +292,15 @@ let () =
           Alcotest.test_case "reservoir approximates" `Quick
             quantile_reservoir_approximates;
           Alcotest.test_case "interleaved reads" `Quick quantile_interleaved_reads;
+        ] );
+      ( "hdr",
+        [
+          Alcotest.test_case "exact small" `Quick hdr_exact_small;
+          Alcotest.test_case "empty and bounds" `Quick hdr_empty_and_bounds;
+          Alcotest.test_case "extremes clamped" `Quick hdr_extremes_clamped;
+          Alcotest.test_case "merge mismatch" `Quick hdr_merge_mismatch;
+          qt hdr_vs_sorted_prop;
+          qt hdr_merge_assoc_prop;
         ] );
       ( "table",
         [
