@@ -622,10 +622,213 @@ let telemetry_cmd =
           names — the stability contract CI checks.")
     term
 
+let mcheck_cmd =
+  let open Mcheck in
+  let mc_protocol =
+    let proto_conv =
+      Arg.conv
+        ( (fun s ->
+            match Explorer.protocol_of_string s with
+            | Some p -> Ok p
+            | None ->
+                Error (`Msg (Printf.sprintf "unknown mcheck protocol %S" s))),
+          fun fmt p ->
+            Format.pp_print_string fmt (Explorer.protocol_name p) )
+    in
+    Arg.(
+      value
+      & opt proto_conv Explorer.Aodv
+      & info [ "p"; "protocol" ] ~docv:"PROTO"
+          ~doc:"Protocol under check: aodv or ldr.")
+  in
+  let fixture_arg =
+    Arg.(
+      value
+      & opt string "aodv-loop-3"
+      & info [ "f"; "fixture" ] ~docv:"FIXTURE"
+          ~doc:
+            "Built-in fixture name (aodv-loop-3, line-4) or a .topo file \
+             path.")
+  in
+  let max_steps =
+    Arg.(
+      value
+      & opt int 40
+      & info [ "max-steps" ] ~docv:"N" ~doc:"Decision-depth bound.")
+  in
+  let max_states =
+    Arg.(
+      value
+      & opt int 2_000_000
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:"Explored-state budget; exceeding it reports incomplete.")
+  in
+  let all_schedules =
+    Arg.(
+      value & flag
+      & info [ "all-schedules" ]
+          ~doc:
+            "Exhaustively enumerate the bounded schedule space (DPOR-style \
+             sleep sets + state matching).  Default unless \
+             $(b,--random-walks) is given.")
+  in
+  let random_walks =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "random-walks" ] ~docv:"N"
+          ~doc:
+            "Fallback for huge spaces: N uniformly random schedules instead \
+             of enumeration.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S" ~doc:"Random-walk seed.")
+  in
+  let no_minimize =
+    Arg.(
+      value & flag
+      & info [ "no-minimize" ]
+          ~doc:"Report the first violating schedule as found, unminimized.")
+  in
+  let no_dedup =
+    Arg.(
+      value & flag
+      & info [ "no-dedup" ]
+          ~doc:
+            "Disable state matching (pure sleep-set DPOR) — slower, immune \
+             to digest collisions.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write the violating decision trace as replayable JSONL.")
+  in
+  let repro =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro" ] ~docv:"FILE"
+          ~doc:
+            "Replay a recorded decision trace event-for-event instead of \
+             exploring; exits 0 iff the recorded violation reproduces.")
+  in
+  let expect =
+    Arg.(
+      value
+      & opt (some (enum [ ("violation", true); ("silent", false) ])) None
+      & info [ "expect" ] ~docv:"WHAT"
+          ~doc:
+            "CI assertion: $(b,violation) exits 0 only if one was found, \
+             $(b,silent) exits 0 only if the space is clean.")
+  in
+  let load_fixture name =
+    match Fixture.builtin name with
+    | Some fx -> Ok fx
+    | None ->
+        if Sys.file_exists name then Fixture.load name
+        else
+          Error
+            (Printf.sprintf "no built-in fixture %S (have: %s) and no such file"
+               name
+               (String.concat ", " Fixture.builtin_names))
+  in
+  let action proto fixture max_steps max_states _all walks seed no_minimize
+      no_dedup trace_out repro expect =
+    match load_fixture fixture with
+    | Error e ->
+        prerr_endline e;
+        Stdlib.exit 2
+    | Ok fx -> (
+        match repro with
+        | Some path -> (
+            match Explorer.read_trace ~path with
+            | Error e ->
+                prerr_endline e;
+                Stdlib.exit 2
+            | Ok (fx_name, tproto, steps, recorded) -> (
+                if fx_name <> fx.Fixture.name then
+                  Printf.eprintf
+                    "note: trace was recorded on fixture %s, replaying on %s\n"
+                    fx_name fx.Fixture.name;
+                match Explorer.replay fx tproto steps with
+                | Some kind ->
+                    Printf.printf "reproduced: %s (recorded: %s)\n"
+                      (Explorer.render_vkind kind)
+                      (Explorer.render_vkind recorded);
+                    Stdlib.exit 0
+                | None ->
+                    print_endline "trace replayed clean: no violation";
+                    Stdlib.exit 1))
+        | None ->
+            let result =
+              match walks with
+              | Some n ->
+                  Explorer.random_walks ~max_steps ~walks:n ~seed fx proto
+              | None ->
+                  Explorer.explore ~max_steps ~max_states
+                    ~dedup:(not no_dedup) fx proto
+            in
+            let st = result.Explorer.stats in
+            Printf.printf
+              "fixture=%s protocol=%s states=%d transitions=%d \
+               sleep_pruned=%d state_merged=%d depth_cut=%d terminals=%d \
+               replays=%d max_depth=%d complete=%b\n"
+              fx.Fixture.name
+              (Explorer.protocol_name proto)
+              st.Explorer.states st.Explorer.transitions
+              st.Explorer.sleep_skipped st.Explorer.state_merged
+              st.Explorer.depth_cut st.Explorer.terminals st.Explorer.replays
+              st.Explorer.max_depth st.Explorer.complete;
+            let viol =
+              match result.Explorer.violation with
+              | Some v when not no_minimize ->
+                  Some (Explorer.minimize fx proto v)
+              | v -> v
+            in
+            (match viol with
+            | Some v ->
+                Printf.printf "VIOLATION %s after %d steps\n"
+                  (Explorer.render_vkind v.Explorer.v_kind)
+                  (List.length v.Explorer.v_trace);
+                List.iteri
+                  (fun i (c : Explorer.choice) ->
+                    Printf.printf "  %2d. t=%.6fs %s\n" i
+                      (float_of_int c.Explorer.c_time /. 1e9)
+                      c.Explorer.c_label)
+                  v.Explorer.v_trace;
+                Option.iter
+                  (fun path -> Explorer.write_trace ~path fx proto v)
+                  trace_out
+            | None -> print_endline "no violation in the explored space");
+            match expect with
+            | Some want_violation ->
+                Stdlib.exit (if want_violation = (viol <> None) then 0 else 1)
+            | None -> ())
+  in
+  let term =
+    Term.(
+      const action $ mc_protocol $ fixture_arg $ max_steps $ max_states
+      $ all_schedules $ random_walks $ seed $ no_minimize $ no_dedup
+      $ trace_out $ repro $ expect)
+  in
+  Cmd.v
+    (Cmd.info "mcheck"
+       ~doc:
+         "Systematically explore message/timer interleavings on a small \
+          hand-wired topology, checking for routing loops (successor-graph \
+          cycles and LDR invariant violations) after every event.  Finds \
+          and minimizes a violating schedule, or proves the bounded space \
+          silent.")
+    term
+
 let () =
   let doc = "MANET routing simulator (LDR / AODV / DSR / OLSR)" in
   exit
     (Cmd.eval
        (Cmd.group
           (Cmd.info "manet_sim" ~doc)
-          [ run_cmd; sweep_cmd; trace_cmd; telemetry_cmd ]))
+          [ run_cmd; sweep_cmd; trace_cmd; telemetry_cmd; mcheck_cmd ]))

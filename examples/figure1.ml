@@ -71,7 +71,7 @@ let () =
         debugs.(i) <- Some dbg;
         agent)
   in
-  let net = Experiment.Testnet.create_custom ~engine ~factories in
+  let net = Experiment.Testnet.create_custom ~engine ~factories () in
   let dbg i = Option.get debugs.(i) in
   let module TN = Experiment.Testnet in
   (* Radio links. *)

@@ -44,19 +44,33 @@ let deliver_forged ~stamp (agents : Routing.Agent.t array) (i, d, s) =
                      ~origin:(Node_id.of_int i)))
     ~from:s
 
+type injection = {
+  injected : bool ref;
+  stamp : int;
+  mutable victim : int;
+  mutable dst : int;
+  mutable via : int;
+}
+
+let mark inj (i, d, s) =
+  inj.injected := true;
+  inj.victim <- i;
+  inj.dst <- d;
+  inj.via <- Node_id.to_int s
+
 let stale_seqno ?(stamp = 1_000_000) (sim : Runner.sim) ~at =
-  let injected = ref false in
+  let inj = { injected = ref false; stamp; victim = -1; dst = -1; via = -1 } in
   ignore
     (Engine.at sim.Runner.engine at (fun () ->
          match first_route sim.Runner.agents with
          | Some site ->
              deliver_forged ~stamp sim.Runner.agents site;
-             injected := true
+             mark inj site
          | None -> ()));
-  injected
+  inj
 
 let stale_seqno_sharded ?(stamp = 1_000_000) (p : Runner.psim) ~at =
-  let injected = ref false in
+  let inj = { injected = ref false; stamp; victim = -1; dst = -1; via = -1 } in
   p.Runner.p_request_injection ~at (fun () ->
       (* Boundary callback: every shard has run all events before [at],
          none at or after it — the same state the classic injector event
@@ -69,6 +83,6 @@ let stale_seqno_sharded ?(stamp = 1_000_000) (p : Runner.psim) ~at =
           ignore
             (Engine.at engine at (fun () ->
                  deliver_forged ~stamp p.Runner.p_agents site;
-                 injected := true))
+                 mark inj site))
       | None -> ());
-  injected
+  inj

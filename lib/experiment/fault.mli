@@ -5,7 +5,25 @@
     agent from outside: these helpers schedule a malformed control
     message into an otherwise-healthy run. *)
 
-val stale_seqno : ?stamp:int -> Runner.sim -> at:Sim.Time.t -> bool ref
+type injection = {
+  injected : bool ref;
+      (** [true] once the fault has actually been delivered; stays
+          [false] if no node had an active route at [at]. *)
+  stamp : int;  (** The forged sequence-number stamp. *)
+  mutable victim : int;
+      (** The node that received the forged RREP (-1 until injected) —
+          the monitor's violating table write happens here. *)
+  mutable dst : int;
+      (** Destination of the forged route (-1 until injected). *)
+  mutable via : int;
+      (** Successor the forged reply arrived from / advertises (-1
+          until injected). *)
+}
+(** What was injected and where, so tests and mcheck can assert
+    {e which} table write tripped the monitor rather than just that
+    something did. *)
+
+val stale_seqno : ?stamp:int -> Runner.sim -> at:Sim.Time.t -> injection
 (** At virtual time [at], deliver a forged RREP to the first node that
     has an active route: it advertises that node's current successor
     with an absurdly new sequence number ([stamp], default 1e6).  The
@@ -13,13 +31,13 @@ val stale_seqno : ?stamp:int -> Runner.sim -> at:Sim.Time.t -> bool ref
     the written edge's successor no longer dominates — the invariant
     monitor, if attached, fires at that exact table write.
 
-    The returned ref becomes [true] once the fault has actually been
-    injected (it stays [false] if no node had an active route at
-    [at]).  Pass via {!Runner.run}'s [prepare] callback or call on a
-    built {!Runner.sim} before running. *)
+    The returned record's [injected] ref becomes [true] — and its
+    [victim]/[dst]/[via] fields are filled — once the fault has
+    actually been injected.  Pass via {!Runner.run}'s [prepare]
+    callback or call on a built {!Runner.sim} before running. *)
 
 val stale_seqno_sharded :
-  ?stamp:int -> Runner.psim -> at:Sim.Time.t -> bool ref
+  ?stamp:int -> Runner.psim -> at:Sim.Time.t -> injection
 (** {!stale_seqno} for a sharded (PDES) run: the victim scan happens at
     the first window boundary at or after [at] — every shard quiesced,
     so the scan sees the same global state as the classic injector

@@ -7,6 +7,9 @@ type t = {
   adj : bool array array;
   agents : Routing.Agent.t array;
   net_metrics : Metrics.t;
+  (* Under a [`Controlled] engine, sends become floating events the
+     mcheck explorer orders freely instead of fixed-delay timers. *)
+  ctl : bool;
   mutable flow_counter : int;
 }
 
@@ -44,7 +47,72 @@ let connect_chain t ids =
 let deliver t ~to_ payload ~from =
   t.agents.(to_).Routing.Agent.recv payload ~from:(Node_id.of_int from)
 
-let make_ctx t i =
+(* The trailing hash makes distinct in-flight payloads of the same
+   class distinguishable, which mcheck's state digest relies on
+   (pending events are part of the state).  [Hashtbl.hash] is
+   deterministic for a given structure, so labels are stable across
+   runs and replays. *)
+let msg_label payload i j =
+  Printf.sprintf "%s %d->%d #%04x"
+    (Payload.class_name payload)
+    i j
+    (Hashtbl.hash_param 500 5000 payload land 0xffff)
+
+(* Controlled-mode transport: one floating event per in-flight message
+   (tag = receiving node), so the explorer can hold any copy past
+   timers and other traffic.  Link state is still re-checked at
+   delivery, and MAC-style link-failure feedback is itself a floating
+   event at the sender. *)
+let send_ctl t i ~dst payload =
+  let float_to j =
+    ignore
+      (Engine.schedule_floating t.engine ~tag:j ~label:(msg_label payload i j)
+         (fun () -> if t.adj.(i).(j) then deliver t ~to_:j payload ~from:i))
+  in
+  match dst with
+  | Net.Frame.Broadcast ->
+      for j = 0 to t.n - 1 do
+        if t.adj.(i).(j) then float_to j
+      done
+  | Net.Frame.Unicast next ->
+      let j = Node_id.to_int next in
+      ignore
+        (Engine.schedule_floating t.engine ~tag:j
+           ~label:(msg_label payload i j) (fun () ->
+             if t.adj.(i).(j) then deliver t ~to_:j payload ~from:i
+             else
+               ignore
+                 (Engine.schedule_floating t.engine ~tag:i
+                    ~label:(Printf.sprintf "LINKFAIL %d->%d" i j) (fun () ->
+                      t.agents.(i).Routing.Agent.link_failure payload
+                        ~next_hop:next))))
+
+let send_timed t i ~dst payload =
+  match dst with
+  | Net.Frame.Broadcast ->
+      let k = ref 0 in
+      for j = 0 to t.n - 1 do
+        if t.adj.(i).(j) then begin
+          let delay = Time.add hop_delay (Time.mul stagger !k) in
+          incr k;
+          ignore
+            (Engine.after t.engine delay (fun () ->
+                 (* Link state is re-checked at delivery time. *)
+                 if t.adj.(i).(j) then deliver t ~to_:j payload ~from:i))
+        end
+      done
+  | Net.Frame.Unicast next ->
+      let j = Node_id.to_int next in
+      ignore
+        (Engine.after t.engine hop_delay (fun () ->
+             if t.adj.(i).(j) then deliver t ~to_:j payload ~from:i
+             else
+               ignore
+                 (Engine.after t.engine link_failure_delay (fun () ->
+                      t.agents.(i).Routing.Agent.link_failure payload
+                        ~next_hop:next))))
+
+let make_ctx t ?obs i =
   let id = Node_id.of_int i in
   {
     Routing.Agent.id;
@@ -52,30 +120,8 @@ let make_ctx t i =
     rng = Rng.create (1000 + i);
     send =
       (fun ~dst payload ->
-        match dst with
-        | Net.Frame.Broadcast ->
-            let k = ref 0 in
-            for j = 0 to t.n - 1 do
-              if t.adj.(i).(j) then begin
-                let delay = Time.add hop_delay (Time.mul stagger !k) in
-                incr k;
-                ignore
-                  (Engine.after t.engine delay (fun () ->
-                       (* Link state is re-checked at delivery time. *)
-                       if t.adj.(i).(j) then deliver t ~to_:j payload ~from:i))
-              end
-            done
-        | Net.Frame.Unicast next ->
-            let j = Node_id.to_int next in
-            ignore
-              (Engine.after t.engine hop_delay (fun () ->
-                   if t.adj.(i).(j) then deliver t ~to_:j payload ~from:i
-                   else
-                     ignore
-                       (Engine.after t.engine link_failure_delay (fun () ->
-                            t.agents.(i).Routing.Agent.link_failure payload
-                              ~next_hop:next)))))
-    ;
+        if t.ctl then send_ctl t i ~dst payload
+        else send_timed t i ~dst payload);
     deliver =
       (fun msg ->
         Metrics.data_delivered t.net_metrics ~now:(Engine.now t.engine) msg);
@@ -83,7 +129,7 @@ let make_ctx t i =
       (fun msg ~reason -> Metrics.data_dropped t.net_metrics msg ~reason);
     event = (fun ?dst:_ name -> Metrics.protocol_event t.net_metrics name);
     table_changed = ignore;
-    obs = Obs.Bus.create ();
+    obs = (match obs with Some b -> b | None -> Obs.Bus.create ());
   }
 
 let null_agent =
@@ -99,7 +145,7 @@ let null_agent =
     route_stats = (fun () -> (0, 0, 0));
   }
 
-let create_custom ~engine ~factories =
+let create_custom ?obs ~engine ~factories () =
   let n = Array.length factories in
   let t =
     {
@@ -108,17 +154,18 @@ let create_custom ~engine ~factories =
       adj = Array.make_matrix n n false;
       agents = Array.make n null_agent;
       net_metrics = Metrics.create ();
+      ctl = Engine.controlled engine;
       flow_counter = 0;
     }
   in
   for i = 0 to n - 1 do
-    t.agents.(i) <- factories.(i) (make_ctx t i)
+    t.agents.(i) <- factories.(i) (make_ctx t ?obs i)
   done;
   Array.iter (fun (a : Routing.Agent.t) -> a.start ()) t.agents;
   t
 
-let create ~engine ~factory ~n =
-  create_custom ~engine ~factories:(Array.make n factory)
+let create ?obs ~engine ~factory ~n () =
+  create_custom ?obs ~engine ~factories:(Array.make n factory) ()
 
 let origin t ~src ~dst =
   t.flow_counter <- t.flow_counter + 1;
@@ -134,6 +181,48 @@ let delivered t = Metrics.delivered t.net_metrics
 
 let run t ~for_ =
   Engine.run ~until:(Time.add (Engine.now t.engine) for_) t.engine
+
+(* First successor-graph cycle, as (destination, cycle nodes): walk each
+   per-destination successor chain; re-visiting a node closes a cycle.
+   The mcheck explorer calls this after every fired event — this is the
+   AODV violation detector (AODV keeps no LDR invariants for the
+   monitor to check). *)
+let find_cycle t =
+  let found = ref None in
+  let d = ref 0 in
+  while !found = None && !d < t.n do
+    let dst = Node_id.of_int !d in
+    let s = ref 0 in
+    while !found = None && !s < t.n do
+      if !s <> !d then begin
+        let order = Array.make t.n (-1) in
+        let rec walk x k =
+          if order.(x) >= 0 then begin
+            (* Nodes from the first visit of [x] onward form the cycle. *)
+            let cyc = ref [] in
+            Array.iteri
+              (fun node ord -> if ord >= order.(x) then cyc := (ord, node) :: !cyc)
+              order;
+            let nodes =
+              List.sort compare !cyc |> List.map snd
+            in
+            found := Some (!d, nodes)
+          end
+          else begin
+            order.(x) <- k;
+            if x <> !d then
+              match t.agents.(x).Routing.Agent.successor dst with
+              | Some next -> walk (Node_id.to_int next) (k + 1)
+              | None -> ()
+          end
+        in
+        walk !s 0
+      end;
+      incr s
+    done;
+    incr d
+  done;
+  !found
 
 let audit_loops t =
   for d = 0 to t.n - 1 do

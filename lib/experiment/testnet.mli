@@ -12,11 +12,20 @@
 type t
 
 val create :
-  engine:Sim.Engine.t -> factory:Routing.Agent.factory -> n:int -> t
+  ?obs:Obs.Bus.t ->
+  engine:Sim.Engine.t -> factory:Routing.Agent.factory -> n:int -> unit -> t
+(** [obs] is shared by every node's ctx (so one monitor sees all
+    table writes); omitted, each node gets a private disabled bus.
+    Under a [`Controlled] engine the transport switches to floating
+    events: every in-flight message (and every link-failure
+    notification) becomes an explorer-orderable event tagged with the
+    receiving node — no fixed per-hop delays. *)
 
 val create_custom :
+  ?obs:Obs.Bus.t ->
   engine:Sim.Engine.t ->
   factories:(Routing.Agent.ctx -> Routing.Agent.t) array ->
+  unit ->
   t
 (** Per-node factories (e.g. to keep debug handles on some nodes). *)
 
@@ -37,3 +46,10 @@ val run : t -> for_:Sim.Time.t -> unit
 val audit_loops : t -> unit
 (** Walk every successor chain; any cycle increments the metric's
     loop-violation counter. *)
+
+val find_cycle : t -> (int * int list) option
+(** First successor-graph cycle as [(destination, cycle nodes in walk
+    order)], [None] when every chain is acyclic.  Unlike {!audit_loops}
+    this returns the witness instead of counting — the mcheck explorer
+    calls it after every fired event and puts the cycle in the
+    violation trace. *)

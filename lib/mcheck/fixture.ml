@@ -1,0 +1,170 @@
+type action =
+  | Origin of int * int
+  | Link_up of int * int
+  | Link_down of int * int
+
+type step = { at : float; act : action }
+type hold = { h_class : string; h_src : int; h_dst : int; h_until : float }
+
+type t = {
+  name : string;
+  nodes : int;
+  links : (int * int) list;
+  script : step list;
+  explore_from : float;
+  holds : hold list;
+}
+
+(* Node 0 is the hub of a 2-spoke star; 1 reaches 2 through it.  The
+   prelude is load-bearing: the RREP 0 forwards to 1 carries the
+   destination's 6 s lifetime *relative* (RFC 3561 forwards the
+   Lifetime field untouched), so holding it in flight until 1.2 s makes
+   1's route expire at 7.2 s while 0's — installed at ~0.34 s — expires
+   at ~6.34 s.  The 0–2 link then dies silently inside both lifetimes.
+   When 0 rediscovers at 7.0 s its own entry has expired but keeps its
+   old sequence number; 1's equal-numbered route is still valid, so 1
+   answers — and AODV's equal-number-but-invalid update rule lets 0
+   install 0→1 while 1 still points at 0.  Exploration starts at 4.9 s,
+   just before the link drop: the establishment phase is a fixed
+   reachable state, the loop window is searched exhaustively. *)
+let aodv_loop_3 =
+  {
+    name = "aodv-loop-3";
+    nodes = 3;
+    links = [ (0, 1); (0, 2) ];
+    script =
+      [
+        { at = 0.1; act = Origin (1, 2) };
+        { at = 5.0; act = Link_down (0, 2) };
+        { at = 7.0; act = Origin (0, 2) };
+      ];
+    explore_from = 4.9;
+    holds = [ { h_class = "RREP"; h_src = 0; h_dst = 1; h_until = 1.2 } ];
+  }
+
+let line_4 =
+  {
+    name = "line-4";
+    nodes = 4;
+    links = [ (0, 1); (1, 2); (2, 3) ];
+    script =
+      [
+        { at = 0.1; act = Origin (0, 3) };
+        { at = 2.0; act = Link_down (1, 2) };
+        { at = 2.5; act = Origin (0, 3) };
+        { at = 4.0; act = Link_up (1, 2) };
+        { at = 4.5; act = Origin (0, 3) };
+      ];
+    explore_from = 1.9;
+    holds = [];
+  }
+
+let builtins = [ aodv_loop_3; line_4 ]
+let builtin name = List.find_opt (fun f -> f.name = name) builtins
+let builtin_names = List.map (fun f -> f.name) builtins
+
+let parse ~name text =
+  let name = ref name in
+  let nodes = ref 0 in
+  let links = ref [] in
+  let script = ref [] in
+  let explore_from = ref 0.0 in
+  let holds = ref [] in
+  let err = ref None in
+  let fail lineno msg =
+    if !err = None then err := Some (Printf.sprintf "line %d: %s" lineno msg)
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun k line ->
+      let lineno = k + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let words =
+        String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) line)
+        |> List.filter (fun w -> w <> "")
+      in
+      let int_of w = int_of_string_opt w in
+      match words with
+      | [] -> ()
+      | [ "name"; n ] -> name := n
+      | [ "nodes"; n ] -> (
+          match int_of n with
+          | Some v when v >= 2 && v <= 16 -> nodes := v
+          | _ -> fail lineno "nodes wants an int in 2..16")
+      | [ "link"; a; b ] -> (
+          match (int_of a, int_of b) with
+          | Some a, Some b -> links := (a, b) :: !links
+          | _ -> fail lineno "link wants two node ids")
+      | [ "explore_from"; t ] -> (
+          match float_of_string_opt t with
+          | Some v when v >= 0.0 -> explore_from := v
+          | _ -> fail lineno "explore_from wants a time in seconds")
+      | [ "hold"; cls; a; b; "until"; t ] -> (
+          match (int_of a, int_of b, float_of_string_opt t) with
+          | Some a, Some b, Some until ->
+              holds :=
+                { h_class = cls; h_src = a; h_dst = b; h_until = until }
+                :: !holds
+          | _ -> fail lineno "hold wants: hold CLASS src dst until T")
+      | "at" :: t :: rest -> (
+          match (float_of_string_opt t, rest) with
+          | Some at, [ "origin"; s; d ] -> (
+              match (int_of s, int_of d) with
+              | Some s, Some d -> script := { at; act = Origin (s, d) } :: !script
+              | _ -> fail lineno "origin wants two node ids")
+          | Some at, [ "down"; a; b ] -> (
+              match (int_of a, int_of b) with
+              | Some a, Some b ->
+                  script := { at; act = Link_down (a, b) } :: !script
+              | _ -> fail lineno "down wants two node ids")
+          | Some at, [ "up"; a; b ] -> (
+              match (int_of a, int_of b) with
+              | Some a, Some b -> script := { at; act = Link_up (a, b) } :: !script
+              | _ -> fail lineno "up wants two node ids")
+          | None, _ -> fail lineno "at wants a time in seconds"
+          | Some _, _ -> fail lineno "unknown action (origin|down|up)")
+      | w :: _ -> fail lineno (Printf.sprintf "unknown directive %S" w))
+    lines;
+  match !err with
+  | Some e -> Error e
+  | None ->
+      if !nodes = 0 then Error "missing nodes directive"
+      else
+        let bad_id i = i < 0 || i >= !nodes in
+        let link_bad = List.exists (fun (a, b) -> bad_id a || bad_id b || a = b) in
+        let step_bad =
+          List.exists (fun { act; _ } ->
+              match act with
+              | Origin (a, b) | Link_up (a, b) | Link_down (a, b) ->
+                  bad_id a || bad_id b || a = b)
+        in
+        let hold_bad =
+          List.exists (fun h -> bad_id h.h_src || bad_id h.h_dst) !holds
+        in
+        if link_bad !links then Error "link out of range"
+        else if step_bad !script then Error "script node out of range"
+        else if hold_bad then Error "hold node out of range"
+        else
+          Ok
+            {
+              name = !name;
+              nodes = !nodes;
+              links = List.rev !links;
+              script =
+                List.stable_sort
+                  (fun a b -> compare a.at b.at)
+                  (List.rev !script);
+              explore_from = !explore_from;
+              holds = List.rev !holds;
+            }
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text ->
+      let name = Filename.remove_extension (Filename.basename path) in
+      parse ~name text
+  | exception Sys_error e -> Error e

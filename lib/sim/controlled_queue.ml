@@ -1,0 +1,169 @@
+(* Array-of-records event set.  Everything here is O(n) scans: mcheck
+   topologies hold a few dozen pending events at most, and the point of
+   this scheduler is to *enumerate* the pending set anyway. *)
+
+type ev = {
+  e_seq : int;
+  e_time : int;
+  e_tag : int;
+  e_label : string;
+  e_floating : bool;
+  e_cb : unit -> unit;
+  mutable e_live : bool;
+}
+
+type ready = {
+  r_seq : int;
+  r_tag : int;
+  r_time : int;
+  r_floating : bool;
+  r_label : string;
+}
+
+type t = {
+  mutable evs : ev array;
+  mutable len : int;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+let dummy =
+  {
+    e_seq = -1;
+    e_time = 0;
+    e_tag = -1;
+    e_label = "";
+    e_floating = false;
+    e_cb = ignore;
+    e_live = false;
+  }
+
+let create () = { evs = Array.make 64 dummy; len = 0; next_seq = 0; live = 0 }
+
+(* Drop dead slots in place (preserving order, which carries the FIFO
+   tie-break) before growing. *)
+let compact t =
+  let j = ref 0 in
+  for i = 0 to t.len - 1 do
+    if t.evs.(i).e_live then begin
+      t.evs.(!j) <- t.evs.(i);
+      incr j
+    end
+  done;
+  t.len <- !j
+
+let schedule t ?(floating = false) ?(tag = -1) ?(label = "") ~time cb =
+  if t.len = Array.length t.evs then begin
+    compact t;
+    if t.len > Array.length t.evs / 2 then begin
+      let evs' = Array.make (2 * Array.length t.evs) dummy in
+      Array.blit t.evs 0 evs' 0 t.len;
+      t.evs <- evs'
+    end
+  end;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.evs.(t.len) <-
+    {
+      e_seq = seq;
+      e_time = time;
+      e_tag = tag;
+      e_label = label;
+      e_floating = floating;
+      e_cb = cb;
+      e_live = true;
+    };
+  t.len <- t.len + 1;
+  t.live <- t.live + 1;
+  seq
+
+let find t seq =
+  let found = ref (-1) in
+  (try
+     for i = 0 to t.len - 1 do
+       if t.evs.(i).e_live && t.evs.(i).e_seq = seq then begin
+         found := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !found
+
+let cancel t seq =
+  let i = find t seq in
+  if i >= 0 then begin
+    t.evs.(i).e_live <- false;
+    t.live <- t.live - 1
+  end
+
+let live_count t = t.live
+
+let next_time_ns t =
+  let best = ref max_int in
+  for i = 0 to t.len - 1 do
+    let ev = t.evs.(i) in
+    if ev.e_live && ev.e_time < !best then best := ev.e_time
+  done;
+  !best
+
+let ready t =
+  (* Earliest timed instant first... *)
+  let timed_min = ref max_int in
+  for i = 0 to t.len - 1 do
+    let ev = t.evs.(i) in
+    if ev.e_live && (not ev.e_floating) && ev.e_time < !timed_min then
+      timed_min := ev.e_time
+  done;
+  (* ...then every floating event plus the timed ties, in seq order
+     (slots are kept in insertion order, which is seq order). *)
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    let ev = t.evs.(i) in
+    if ev.e_live && (ev.e_floating || ev.e_time = !timed_min) then
+      acc :=
+        { r_seq = ev.e_seq; r_tag = ev.e_tag; r_time = ev.e_time;
+          r_floating = ev.e_floating; r_label = ev.e_label }
+        :: !acc
+  done;
+  !acc
+
+let pending t =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    let ev = t.evs.(i) in
+    if ev.e_live then
+      acc :=
+        { r_seq = ev.e_seq; r_tag = ev.e_tag; r_time = ev.e_time;
+          r_floating = ev.e_floating; r_label = ev.e_label }
+        :: !acc
+  done;
+  !acc
+
+let take t seq =
+  let i = find t seq in
+  if i < 0 then None
+  else begin
+    let ev = t.evs.(i) in
+    ev.e_live <- false;
+    t.live <- t.live - 1;
+    Some (ev.e_time, ev.e_cb)
+  end
+
+let pop_min t ?(limit = max_int) () =
+  let best = ref (-1) in
+  for i = t.len - 1 downto 0 do
+    let ev = t.evs.(i) in
+    if ev.e_live && ev.e_time <= limit then
+      if
+        !best < 0
+        || ev.e_time < t.evs.(!best).e_time
+        || (ev.e_time = t.evs.(!best).e_time && ev.e_seq < t.evs.(!best).e_seq)
+      then best := i
+  done;
+  if !best < 0 then None
+  else begin
+    let ev = t.evs.(!best) in
+    ev.e_live <- false;
+    t.live <- t.live - 1;
+    Some (ev.e_time, ev.e_cb)
+  end

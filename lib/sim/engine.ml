@@ -1,9 +1,15 @@
-type scheduler = [ `Heap | `Calendar ]
+type scheduler = [ `Heap | `Calendar | `Controlled ]
 
 (* The heap stays as the reference scheduler behind a flag (as the
    naive channel did for the spatial grid): differential tests drive
-   both and demand event-for-event identical outcomes. *)
-type sched = Heap of Event_queue.t | Cal of Calendar_queue.t
+   both and demand event-for-event identical outcomes.  The controlled
+   set is the model checker's: introspectable pending events the
+   explorer picks from, with the default pop identical to calendar
+   order. *)
+type sched =
+  | Heap of Event_queue.t
+  | Cal of Calendar_queue.t
+  | Ctl of Controlled_queue.t
 
 (* A recorded scheduler workload: the exact sequence of schedule /
    cancel / pop operations a run performed, in execution order.  The
@@ -106,19 +112,23 @@ let create ?(seed = 1) ?(scheduler = `Calendar) () =
     match scheduler with
     | `Heap -> Heap (Event_queue.create ())
     | `Calendar -> Cal (Calendar_queue.create ())
+    | `Controlled -> Ctl (Controlled_queue.create ())
   in
   { sched; rng = Rng.create seed; clock = Time.zero; fired = 0; trace = None }
 
 let record_trace t =
   match t.sched with
-  | Heap _ ->
+  | Heap _ | Ctl _ ->
       invalid_arg "Engine.record_trace: only calendar engines can record"
   | Cal _ ->
       let tr = Trace.create () in
       t.trace <- Some tr;
       tr
 
-let scheduler t = match t.sched with Heap _ -> `Heap | Cal _ -> `Calendar
+let scheduler t =
+  match t.sched with Heap _ -> `Heap | Cal _ -> `Calendar | Ctl _ -> `Controlled
+
+let controlled t = match t.sched with Ctl _ -> true | Heap _ | Cal _ -> false
 let now t = t.clock
 let rng t = t.rng
 
@@ -134,13 +144,38 @@ let traced_handle t kind (h : int) (time : Time.t) =
   | Some tr -> Trace.record_sched tr kind h (time :> int));
   Obj.repr h
 
+(* Controlled handles pack the queue's sequence id as [seq + 1] so seq 0
+   stays distinguishable from [none]. *)
+let ctl_handle (seq : int) : handle = Obj.repr (seq + 1)
+
 let at t time action =
   check_past t time;
   match t.sched with
   | Heap q -> Obj.repr (Event_queue.schedule q time action)
   | Cal q -> traced_handle t 'S' (Calendar_queue.schedule q time action) time
+  | Ctl q -> ctl_handle (Controlled_queue.schedule q ~time:(time :> int) action)
 
 let after t d action = at t (Time.add t.clock d) action
+
+let at_tagged t time ~tag ~label action =
+  check_past t time;
+  match t.sched with
+  | Heap q -> Obj.repr (Event_queue.schedule q time action)
+  | Cal q -> traced_handle t 'S' (Calendar_queue.schedule q time action) time
+  | Ctl q ->
+      ctl_handle
+        (Controlled_queue.schedule q ~tag ~label ~time:(time :> int) action)
+
+let schedule_floating t ?(tag = -1) ?(label = "") action =
+  match t.sched with
+  | Heap _ | Cal _ ->
+      (* Without a choosing explorer a floating event is just an event at
+         the current instant. *)
+      at t t.clock action
+  | Ctl q ->
+      ctl_handle
+        (Controlled_queue.schedule q ~floating:true ~tag ~label
+           ~time:(t.clock :> int) action)
 
 (* Closure-free path for the high-frequency event classes (MAC timers,
    channel end-of-transmission, traffic ticks): the callback is a
@@ -158,6 +193,10 @@ let at_fn (type a) t time (fn : a -> unit) (arg : a) =
            (Obj.magic fn : Obj.t -> unit)
            (Obj.repr arg))
         time
+  | Ctl q ->
+      (* mcheck runs are tiny; the closure allocation is irrelevant. *)
+      ctl_handle
+        (Controlled_queue.schedule q ~time:(time :> int) (fun () -> fn arg))
 
 let after_fn t d fn arg = at_fn t (Time.add t.clock d) fn arg
 
@@ -170,6 +209,7 @@ let cancel t (h : handle) =
         | None -> ()
         | Some tr -> Trace.record_cancel tr (Obj.obj h : int));
         Calendar_queue.cancel q (Obj.obj h : int)
+    | Ctl q -> Controlled_queue.cancel q ((Obj.obj h : int) - 1)
 
 (* Periodic firings carry their state in one record armed with [at_fn],
    instead of a fresh closure pair per firing. *)
@@ -214,6 +254,15 @@ let every t ?(jitter = fun () -> Time.zero) ~start ~interval ~until action =
       p_next = start;
     }
 
+(* Fire a popped controlled event.  A floating event's nominal time can
+   be behind the clock (it was created earlier and held); the clock only
+   moves forward. *)
+let fire_ctl t (time, action) =
+  let time = Time.unsafe_of_ns time in
+  if Time.(time > t.clock) then t.clock <- time;
+  t.fired <- t.fired + 1;
+  action ()
+
 let step t =
   match t.sched with
   | Heap q -> (
@@ -235,6 +284,41 @@ let step t =
         true
       end
       else false
+  | Ctl q -> (
+      match Controlled_queue.pop_min q () with
+      | None -> false
+      | Some ev ->
+          fire_ctl t ev;
+          true)
+
+let ready_set t =
+  match t.sched with
+  | Ctl q -> Controlled_queue.ready q
+  | Heap _ | Cal _ ->
+      invalid_arg "Engine.ready_set: requires the controlled scheduler"
+
+let pending_set t =
+  match t.sched with
+  | Ctl q -> Controlled_queue.pending q
+  | Heap _ | Cal _ ->
+      invalid_arg "Engine.pending_set: requires the controlled scheduler"
+
+let fire_seq t seq =
+  match t.sched with
+  | Ctl q -> (
+      match Controlled_queue.take q seq with
+      | None -> false
+      | Some ev ->
+          fire_ctl t ev;
+          true)
+  | Heap _ | Cal _ ->
+      invalid_arg "Engine.fire_seq: requires the controlled scheduler"
+
+let advance_clock t time =
+  match t.sched with
+  | Ctl _ -> if Time.(time > t.clock) then t.clock <- time
+  | Heap _ | Cal _ ->
+      invalid_arg "Engine.advance_clock: requires the controlled scheduler"
 
 let run ?until ?max_events t =
   (match t.sched with
@@ -272,6 +356,15 @@ let run ?until ?max_events t =
           Calendar_queue.run_staged q
         end
         else running := false
+      done
+  | Ctl q ->
+      let limit = match until with None -> max_int | Some l -> (l :> int) in
+      let budget = match max_events with None -> max_int | Some m -> m in
+      let running = ref true in
+      while !running && t.fired < budget do
+        match Controlled_queue.pop_min q ~limit () with
+        | Some ev -> fire_ctl t ev
+        | None -> running := false
       done);
   (* Advance the clock to the horizon — idle virtual time passes too, so
      repeated bounded runs observe consistent timestamps.  Not when the
@@ -287,6 +380,7 @@ let run ?until ?max_events t =
             | Some next -> Time.(next <= limit)
             | None -> false)
         | Cal q -> Calendar_queue.next_time_ns q <= (limit :> int)
+        | Ctl q -> Controlled_queue.next_time_ns q <= (limit :> int)
       in
       if not pending_before_horizon then t.clock <- limit
   | Some _ | None -> ()
@@ -300,6 +394,7 @@ let next_time_ns t =
       | Some time -> (time :> int)
       | None -> max_int)
   | Cal q -> Calendar_queue.next_time_ns q
+  | Ctl q -> Controlled_queue.next_time_ns q
 
 type stats = { pending : int; fired : int }
 
@@ -308,15 +403,18 @@ let stats t =
     match t.sched with
     | Heap q -> Event_queue.live_count q
     | Cal q -> Calendar_queue.live_count q
+    | Ctl q -> Controlled_queue.live_count q
   in
   { pending; fired = t.fired }
 
 let calendar_buckets t =
-  match t.sched with Heap _ -> 0 | Cal q -> Calendar_queue.num_buckets q
+  match t.sched with
+  | Heap _ | Ctl _ -> 0
+  | Cal q -> Calendar_queue.num_buckets q
 
 let calendar_occupancy t =
   match t.sched with
-  | Heap _ -> 0.
+  | Heap _ | Ctl _ -> 0.
   | Cal q ->
       let buckets = Calendar_queue.num_buckets q in
       if buckets = 0 then 0.

@@ -12,7 +12,12 @@
 
 type t
 
-type scheduler = [ `Heap | `Calendar ]
+type scheduler = [ `Heap | `Calendar | `Controlled ]
+(** [`Controlled] backs the event set with {!Controlled_queue} for
+    model-checking runs: the pending set is introspectable
+    ({!ready_set}) and an explorer can pick which ready event fires
+    next ({!fire_seq}).  Left to {!run}/{!step} it pops the global
+    (time, seq)-minimum — event-for-event identical to [`Calendar]. *)
 
 type handle
 (** Identifies a scheduled event so it can be cancelled.  Calendar
@@ -30,6 +35,10 @@ val create : ?seed:int -> ?scheduler:scheduler -> unit -> t
     reference path for differential testing and benchmarking. *)
 
 val scheduler : t -> scheduler
+
+val controlled : t -> bool
+(** True for [`Controlled] engines — subsystems use it to route sends
+    through {!schedule_floating} instead of fixed-delay timers. *)
 
 val now : t -> Time.t
 (** Current virtual time. *)
@@ -55,6 +64,42 @@ val at_fn : t -> Time.t -> ('a -> unit) -> 'a -> handle
 
 val after_fn : t -> Time.t -> ('a -> unit) -> 'a -> handle
 (** [after_fn t d fn arg] is [at_fn] at [now t + d]. *)
+
+val at_tagged :
+  t -> Time.t -> tag:int -> label:string -> (unit -> unit) -> handle
+(** [at] with explorer-visible metadata: under the controlled scheduler
+    the event's {!Controlled_queue.ready} entry carries [tag]/[label]
+    (mcheck uses the tag for the acting node and the label for trace
+    readability).  Under other schedulers identical to {!at}. *)
+
+val schedule_floating : t -> ?tag:int -> ?label:string -> (unit -> unit)
+  -> handle
+(** An in-flight asynchronous message: under the controlled scheduler it
+    becomes a {e floating} event the explorer may delay past timers and
+    later messages; its nominal time is the current clock and firing it
+    never moves the clock backwards.  Under other schedulers it degrades
+    to [at t (now t)] — immediate delivery. *)
+
+val ready_set : t -> Controlled_queue.ready list
+(** The explorer's choice set (see {!Controlled_queue.ready}).  Raises
+    [Invalid_argument] unless the engine is [`Controlled]. *)
+
+val pending_set : t -> Controlled_queue.ready list
+(** Every live controlled event, ready or not — mcheck's state-digest
+    input.  Raises [Invalid_argument] unless [`Controlled]. *)
+
+val fire_seq : t -> int -> bool
+(** Fire the pending controlled event with the given sequence id (from
+    {!ready_set}); false if no such live event.  The clock advances to
+    the event's nominal time if that is later.  Raises
+    [Invalid_argument] unless the engine is [`Controlled]. *)
+
+val advance_clock : t -> Time.t -> unit
+(** Move the controlled clock forward to [time] (no-op if already
+    there or past) without firing anything — mcheck's fixture prelude
+    uses it to deliver a held message at its hold instant, so lifetime
+    arithmetic sees the delayed delivery time.  Raises
+    [Invalid_argument] unless the engine is [`Controlled]. *)
 
 val cancel : t -> handle -> unit
 (** Cancelling an already-fired or already-cancelled event (or {!none})

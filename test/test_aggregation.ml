@@ -22,7 +22,7 @@ let aodv_agg_factory ?(config = Routing.Aggregation.default) () =
 let window_merge () =
   let engine = Engine.create () in
   let net =
-    Experiment.Testnet.create ~engine ~factory:(ldr_agg_factory ()) ~n:5
+    Experiment.Testnet.create ~engine ~factory:(ldr_agg_factory ()) ~n:5 ()
   in
   (* 0 - 1 - 2 with leaves 3 and 4 on node 2. *)
   Experiment.Testnet.connect_chain net [ 0; 1; 2; 3 ];
@@ -40,7 +40,7 @@ let window_merge () =
 let window_merge_aodv () =
   let engine = Engine.create () in
   let net =
-    Experiment.Testnet.create ~engine ~factory:(aodv_agg_factory ()) ~n:5
+    Experiment.Testnet.create ~engine ~factory:(aodv_agg_factory ()) ~n:5 ()
   in
   Experiment.Testnet.connect_chain net [ 0; 1; 2; 3 ];
   Experiment.Testnet.connect net 2 4;
@@ -61,7 +61,7 @@ let window_merge_aodv () =
 let fanout_serves_suppressed_origin () =
   let engine = Engine.create () in
   let net =
-    Experiment.Testnet.create ~engine ~factory:(ldr_agg_factory ()) ~n:5
+    Experiment.Testnet.create ~engine ~factory:(ldr_agg_factory ()) ~n:5 ()
   in
   Experiment.Testnet.connect_chain net [ 0; 1; 2; 3 ];
   Experiment.Testnet.connect net 1 4;
@@ -86,7 +86,7 @@ let no_fanout_still_delivers () =
   let config = { Routing.Aggregation.default with fanout = false } in
   let engine = Engine.create () in
   let net =
-    Experiment.Testnet.create ~engine ~factory:(ldr_agg_factory ~config ()) ~n:5
+    Experiment.Testnet.create ~engine ~factory:(ldr_agg_factory ~config ()) ~n:5 ()
   in
   Experiment.Testnet.connect_chain net [ 0; 1; 2; 3 ];
   Experiment.Testnet.connect net 1 4;
@@ -112,7 +112,7 @@ let stock_node_understands_aggregates () =
       Ldr.Protocol.factory ();
     |]
   in
-  let net = Experiment.Testnet.create_custom ~engine ~factories in
+  let net = Experiment.Testnet.create_custom ~engine ~factories () in
   Experiment.Testnet.connect_chain net [ 0; 1; 2; 3 ];
   Experiment.Testnet.connect net 2 4;
   Experiment.Testnet.origin net ~src:0 ~dst:3;
@@ -261,7 +261,9 @@ let monitor_still_catches_fault () =
     Experiment.Runner.run
       ~prepare:(fun sim ->
         ignore (Experiment.Runner.attach_monitor ~quiet:true sim);
-        injected := Experiment.Fault.stale_seqno sim ~at:(Time.sec 10.))
+        injected :=
+          (Experiment.Fault.stale_seqno sim ~at:(Time.sec 10.))
+            .Experiment.Fault.injected)
       (scenario ~duration:20. ())
   in
   checkb "fault injected" true !(!injected);

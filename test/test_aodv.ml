@@ -12,7 +12,7 @@ module TN = Experiment.Testnet
 
 let make_net ?(config = Aodv.default_config) ?(seed = 3) k =
   let engine = Engine.create ~seed () in
-  let net = TN.create ~engine ~factory:(Aodv.factory ~config ()) ~n:k in
+  let net = TN.create ~engine ~factory:(Aodv.factory ~config ()) ~n:k () in
   (engine, net)
 
 let discovery_on_chain () =
@@ -189,7 +189,7 @@ let loop_freedom_prop =
     (fun seed ->
       let engine = Engine.create ~seed () in
       let k = 7 in
-      let net = TN.create ~engine ~factory:(Aodv.factory ()) ~n:k in
+      let net = TN.create ~engine ~factory:(Aodv.factory ()) ~n:k () in
       let rng = Rng.create (seed + 13) in
       for a = 0 to k - 1 do
         for b = a + 1 to k - 1 do

@@ -86,7 +86,7 @@ module TN = Experiment.Testnet
 
 let make_net ?(config = Dsr.default_config) k =
   let engine = Engine.create ~seed:3 () in
-  (engine, TN.create ~engine ~factory:(Dsr.factory ~config ()) ~n:k)
+  (engine, TN.create ~engine ~factory:(Dsr.factory ~config ()) ~n:k ())
 
 let discovery_on_chain () =
   let _, net = make_net 5 in
@@ -231,7 +231,7 @@ let no_loops_in_source_routes_prop =
     (fun seed ->
       let engine = Engine.create ~seed () in
       let k = 6 in
-      let net = TN.create ~engine ~factory:(Dsr.factory ()) ~n:k in
+      let net = TN.create ~engine ~factory:(Dsr.factory ()) ~n:k () in
       TN.connect_chain net (List.init k Fun.id);
       let rng = Rng.create seed in
       (* A few random chords. *)

@@ -231,6 +231,7 @@ let make_net ?(config = Config.default) k =
   let engine = Engine.create ~seed:3 () in
   let net =
     Experiment.Testnet.create ~engine ~factory:(Protocol.factory ~config ()) ~n:k
+      ()
   in
   (engine, net)
 
@@ -243,7 +244,7 @@ let make_net_debug ?(config = Config.default) k =
         debugs.(i) <- Some dbg;
         agent)
   in
-  let net = Experiment.Testnet.create_custom ~engine ~factories in
+  let net = Experiment.Testnet.create_custom ~engine ~factories () in
   (engine, net, fun i -> Option.get debugs.(i))
 
 module TN = Experiment.Testnet
@@ -433,6 +434,7 @@ let loop_freedom_prop =
       let k = 8 in
       let net =
         Experiment.Testnet.create ~engine ~factory:(Protocol.factory ()) ~n:k
+          ()
       in
       let rng = Rng.create (seed * 7) in
       (* Random initial topology, reasonably dense. *)
@@ -478,7 +480,7 @@ let ordering_criteria_prop =
             debugs.(i) <- Some dbg;
             agent)
       in
-      let net = Experiment.Testnet.create_custom ~engine ~factories in
+      let net = Experiment.Testnet.create_custom ~engine ~factories () in
       let dbg i = Option.get debugs.(i) in
       let rng = Rng.create (seed + 99) in
       for a = 0 to k - 1 do

@@ -21,7 +21,7 @@ let make_net_debug ?(config = Config.default) ?(seed = 3) k =
         debugs.(i) <- Some dbg;
         agent)
   in
-  let net = Experiment.Testnet.create_custom ~engine ~factories in
+  let net = Experiment.Testnet.create_custom ~engine ~factories () in
   (engine, net, fun i -> Option.get debugs.(i))
 
 (* ---- N bit: reverse-path failure triggers an origin probe ------------- *)

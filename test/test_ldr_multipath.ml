@@ -121,7 +121,7 @@ let make_net_debug ?(config = mp_config) k =
         debugs.(i) <- Some dbg;
         agent)
   in
-  let net = Experiment.Testnet.create_custom ~engine ~factories in
+  let net = Experiment.Testnet.create_custom ~engine ~factories () in
   (engine, net, fun i -> Option.get debugs.(i))
 
 let failover_without_rediscovery () =
@@ -167,7 +167,7 @@ let loop_free_with_multipath =
       let net =
         Experiment.Testnet.create ~engine
           ~factory:(Protocol.factory ~config:mp_config ())
-          ~n:k
+          ~n:k ()
       in
       let rng = Rng.create (seed * 3) in
       for a = 0 to k - 1 do

@@ -88,14 +88,18 @@ let monitor_clean_run () =
    monitor's exact ring dump from the JSONL trace. *)
 let monitor_catches_stale_seqno () =
   let trace_file = Filename.temp_file "obs_test" ".jsonl" in
-  let injected = ref (ref false) in
+  let injection = ref None in
+  let first_viol = ref None in
   let window = ref [] in
   let viols = ref 0 in
   let outcome =
     Runner.run ~trace_out:trace_file
       ~prepare:(fun sim ->
         let m = Runner.attach_monitor ~quiet:true sim in
-        injected := Fault.stale_seqno sim ~at:(Time.sec 10.);
+        Obs.Bus.add_sink sim.Runner.bus (fun ev ->
+            if ev.Obs.Event.kind = Obs.Event.Violation && !first_viol = None
+            then first_viol := Some (ev.Obs.Event.node, ev.Obs.Event.a));
+        injection := Some (Fault.stale_seqno sim ~at:(Time.sec 10.));
         sim.Runner.cleanup <-
           (fun () ->
             viols := Obs.Monitor.violations m;
@@ -103,8 +107,16 @@ let monitor_catches_stale_seqno () =
           :: sim.Runner.cleanup)
       (scenario ())
   in
-  checkb "fault injected" true !(!injected);
+  let inj = Option.get !injection in
+  checkb "fault injected" true !(inj.Fault.injected);
   checkb "monitor fired" true (!viols >= 1);
+  (* The injection record names the corrupted write: the first violation
+     must be at the victim node, for the forged destination. *)
+  (match !first_viol with
+  | None -> Alcotest.fail "no violation event on the bus"
+  | Some (node, dst) ->
+      checki "violation at the injection victim" inj.Fault.victim node;
+      checki "violation for the forged destination" inj.Fault.dst dst);
   checki "outcome reports violations" !viols
     outcome.Runner.invariant_violations;
   checkb "window non-empty" true (!window <> []);

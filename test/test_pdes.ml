@@ -162,13 +162,14 @@ let test_fault_under_sharding () =
   let sharded_injected = ref (ref false) in
   let base =
     Runner.run ~monitor:true
-      ~prepare:(fun sim -> classic_injected := Fault.stale_seqno sim ~at)
+      ~prepare:(fun sim ->
+        classic_injected := (Fault.stale_seqno sim ~at).Fault.injected)
       (border_free ())
   in
   let o =
     Runner.run ~monitor:true
       ~prepare_pdes:(fun p ->
-        sharded_injected := Fault.stale_seqno_sharded p ~at)
+        sharded_injected := (Fault.stale_seqno_sharded p ~at).Fault.injected)
       (border_free ~shards:4 ())
   in
   checkb "classic fault injected" true !(!classic_injected);

@@ -440,6 +440,55 @@ let engine_modes_agree_prop =
       in
       trace `Heap = trace `Calendar)
 
+(* The controlled scheduler left to Engine.run pops the global
+   (time, seq) minimum — mcheck's claim that an unexplored simulation
+   has stock semantics.  Same random program shape as above, plus
+   floating events (which degrade to at-now under the calendar), must
+   agree event-for-event: firing order, clock, event count. *)
+let controlled_default_matches_calendar_prop =
+  QCheck.Test.make
+    ~name:"controlled scheduler default order matches calendar" ~count:100
+    QCheck.(list (pair (int_bound 4) (int_bound 1_000_000)))
+    (fun ops ->
+      let trace scheduler =
+        let e = Engine.create ~scheduler () in
+        let fired = ref [] in
+        let handles = ref [] in
+        let tag = ref 0 in
+        List.iter
+          (fun (op, x) ->
+            match op with
+            | 0 | 1 ->
+                let t = !tag in
+                incr tag;
+                let d =
+                  if x mod 7 = 0 then Time.sec (float_of_int (x mod 5))
+                  else Time.us (float_of_int (x mod 300))
+                in
+                let h =
+                  if op = 0 then
+                    Engine.after e d (fun () -> fired := t :: !fired)
+                  else Engine.after_fn e d fire_tag (t, fired)
+                in
+                handles := h :: !handles
+            | 2 ->
+                let t = !tag in
+                incr tag;
+                handles :=
+                  Engine.schedule_floating e ~tag:(t mod 5)
+                    ~label:(string_of_int t) (fun () -> fired := t :: !fired)
+                  :: !handles
+            | 3 -> (
+                match !handles with
+                | [] -> ()
+                | hs -> Engine.cancel e (List.nth hs (x mod List.length hs)))
+            | _ -> Engine.run ~max_events:(Engine.events_processed e + 1) e)
+          ops;
+        Engine.run e;
+        (List.rev !fired, Engine.now e, Engine.events_processed e)
+      in
+      trace `Calendar = trace `Controlled)
+
 (* ---- Engine ---------------------------------------------------------- *)
 
 let engine_runs_in_order () =
@@ -663,5 +712,6 @@ let () =
           Alcotest.test_case "none handle" `Quick engine_none_handle;
           Alcotest.test_case "determinism" `Quick engine_determinism;
           qt engine_modes_agree_prop;
+          qt controlled_default_matches_calendar_prop;
         ] );
     ]
