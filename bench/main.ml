@@ -439,12 +439,16 @@ let discovery ~scale () =
 
 (* A fixed mobile scenario grown to N nodes at constant node density
    (the paper's 5:1 terrain aspect), with flows scaled alongside so the
-   offered load per node is constant.  Every N runs twice — once with
-   the naive linear-scan channel, once with the spatial grid — checking
-   the outcomes are byte-identical and recording the wall-clock ratio
-   into BENCH_channel.json as a perf trajectory for future PRs. *)
+   offered load per node is constant.  Every N runs under the naive
+   linear-scan channel, the spatial grid, and the struct-of-arrays
+   layout (shared position planes + incremental cell index) — checking
+   the outcomes are byte-identical and recording the wall-clock and
+   allocation trajectories into BENCH_channel.json.  The naive scan is
+   quadratic in N, so it is skipped past [channel_naive_cap]; the
+   2000/5000-node points exist to put the SoA trajectory on one axis. *)
 
-let channel_node_counts = [ 50; 200; 500; 1000 ]
+let channel_node_counts = [ 50; 200; 500; 1000; 2000; 5000 ]
+let channel_naive_cap = 1000
 let channel_duration_s = 60.
 
 (* Sparser than the paper's boxes (the paper packs ~105 nodes inside one
@@ -499,25 +503,42 @@ let identical_outcomes (a : Runner.outcome) (b : Runner.outcome) =
 
 type channel_point = {
   cp_nodes : int;
-  cp_naive_s : float;
+  cp_naive_s : float option;  (* None past the quadratic-scan cap *)
   cp_grid_s : float;
+  cp_soa_s : float;
   cp_identical : bool;
   cp_transmissions : int;
   cp_events : int;
   cp_minor_words : float;  (* grid run *)
   cp_promoted_words : float;
+  cp_soa_minor_words : float;
+  cp_soa_promoted_words : float;
 }
 
 let channel_bench_json points =
   let point p =
+    let ev = float_of_int p.cp_events in
     Printf.sprintf
-      "    { \"nodes\": %d, \"naive_s\": %.4f, \"grid_s\": %.4f, \
-       \"speedup\": %.2f, \"identical\": %b, \"transmissions\": %d, \
-       \"events\": %d, \"minor_words\": %.0f, \"promoted_words\": %.0f }"
-      p.cp_nodes p.cp_naive_s p.cp_grid_s
-      (p.cp_naive_s /. p.cp_grid_s)
+      "    { \"nodes\": %d, \"naive_s\": %s, \"grid_s\": %.4f, \
+       \"soa_s\": %.4f, \"speedup\": %s, \"soa_speedup_vs_grid\": %.2f, \
+       \"identical\": %b, \"transmissions\": %d, \"events\": %d, \
+       \"minor_words\": %.0f, \"promoted_words\": %.0f, \
+       \"minor_words_per_event\": %.1f, \"soa_minor_words\": %.0f, \
+       \"soa_promoted_words\": %.0f, \"soa_minor_words_per_event\": %.1f }"
+      p.cp_nodes
+      (match p.cp_naive_s with
+      | Some s -> Printf.sprintf "%.4f" s
+      | None -> "null")
+      p.cp_grid_s p.cp_soa_s
+      (match p.cp_naive_s with
+      | Some s -> Printf.sprintf "%.2f" (s /. p.cp_grid_s)
+      | None -> "null")
+      (p.cp_grid_s /. p.cp_soa_s)
       p.cp_identical p.cp_transmissions p.cp_events p.cp_minor_words
       p.cp_promoted_words
+      (p.cp_minor_words /. ev)
+      p.cp_soa_minor_words p.cp_soa_promoted_words
+      (p.cp_soa_minor_words /. ev)
   in
   String.concat "\n"
     [
@@ -525,6 +546,11 @@ let channel_bench_json points =
       "  \"benchmark\": \"channel-scaling\",";
       Printf.sprintf "  \"scenario\": \"LDR random-waypoint, %g s simulated, %g m2/node, 10 flows\","
         channel_duration_s channel_area_per_node;
+      Printf.sprintf
+        "  \"naive_note\": \"the O(N)-scan channel is quadratic in N and \
+         skipped past %d nodes; soa = shared position planes + incremental \
+         cell index, digest-checked against both other modes\","
+        channel_naive_cap;
       "  \"points\": [";
       String.concat ",\n" (List.map point points);
       "  ]";
@@ -533,36 +559,58 @@ let channel_bench_json points =
 
 let channel_scaling ~scale:_ () =
   heading
-    "Channel scaling: naive O(N)-scan channel vs spatial grid (byte-identical outcomes)";
+    "Channel scaling: naive O(N) scan vs spatial grid vs struct-of-arrays (byte-identical outcomes)";
   let points =
     List.map
       (fun nodes ->
         let sc = channel_scenario ~nodes in
-        let naive_s, on, _, _ = timed_run (Scenario.with_naive_channel true sc) in
+        let naive =
+          if nodes <= channel_naive_cap then
+            let s, o, _, _ = timed_run (Scenario.with_naive_channel true sc) in
+            Some (s, o)
+          else None
+        in
         let grid_s, og, minor, promoted = timed_run sc in
-        let identical = identical_outcomes on og in
+        let soa_s, os, s_minor, s_promoted =
+          timed_run (Scenario.with_soa true sc)
+        in
+        let identical =
+          identical_outcomes og os
+          && match naive with
+             | Some (_, on) -> identical_outcomes on og
+             | None -> true
+        in
         if not identical then
-          Printf.printf "  !! %d nodes: grid and naive outcomes DIVERGE\n%!" nodes;
+          Printf.printf "  !! %d nodes: channel-mode outcomes DIVERGE\n%!"
+            nodes;
         {
           cp_nodes = nodes;
-          cp_naive_s = naive_s;
+          cp_naive_s = Option.map fst naive;
           cp_grid_s = grid_s;
+          cp_soa_s = soa_s;
           cp_identical = identical;
           cp_transmissions = og.Runner.transmissions;
           cp_events = og.Runner.events_processed;
           cp_minor_words = minor;
           cp_promoted_words = promoted;
+          cp_soa_minor_words = s_minor;
+          cp_soa_promoted_words = s_promoted;
         })
       channel_node_counts
   in
   let rows =
     List.map
       (fun p ->
+        let ev = float_of_int p.cp_events in
         [
           string_of_int p.cp_nodes;
-          Printf.sprintf "%.3f" p.cp_naive_s;
+          (match p.cp_naive_s with
+          | Some s -> Printf.sprintf "%.3f" s
+          | None -> "-");
           Printf.sprintf "%.3f" p.cp_grid_s;
-          Printf.sprintf "%.2fx" (p.cp_naive_s /. p.cp_grid_s);
+          Printf.sprintf "%.3f" p.cp_soa_s;
+          Printf.sprintf "%.1f" (p.cp_minor_words /. ev);
+          Printf.sprintf "%.1f" (p.cp_soa_minor_words /. ev);
           (if p.cp_identical then "yes" else "NO");
           string_of_int p.cp_transmissions;
         ])
@@ -570,13 +618,297 @@ let channel_scaling ~scale:_ () =
   in
   print_endline
     (Stats.Table.render
-       ~header:[ "nodes"; "naive s"; "grid s"; "speedup"; "identical"; "tx" ]
+       ~header:
+         [ "nodes"; "naive s"; "grid s"; "soa s"; "minW/ev"; "soa minW/ev";
+           "identical"; "tx" ]
        rows);
   let oc = open_out "BENCH_channel.json" in
   output_string oc (channel_bench_json points);
   output_string oc "\n";
   close_out oc;
   Printf.printf "  (wrote BENCH_channel.json)\n%!"
+
+(* ---- City scale: struct-of-arrays node state and the new families ------- *)
+
+(* Two parts, both on the channel-scaling density (5:1 aspect, 10
+   flows, grid channel):
+
+   - Layout: the scenario at growing N under both node-state layouts —
+     per-node records (boxed positions, full grid rebuilds) and
+     struct-of-arrays (shared unboxed position planes, incremental
+     cell index) — with digest equality as the gate.  The 1000-node
+     row carries the allocation before/after this PR tracks: the
+     committed pre-SoA BENCH_channel.json measured 31,109,620 minor
+     words over 438,265 events = 71.0 words/event on the record path.
+     The default run tops out at the 10k-node, 60 s point.
+   - Families: one delivery/overhead row per scenario family —
+     waypoint, Manhattan grid, RPGM groups, shadowing, churn,
+     partition-then-heal — on the SoA path with the LDR invariant
+     monitor armed throughout (churn's crash-rebooted sequence numbers
+     are the van Glabbeek loop stressor). *)
+
+let scale_alloc_before_1000n = 71.0
+
+type layout_point = {
+  lp_nodes : int;
+  lp_record_s : float;
+  lp_soa_s : float;
+  lp_identical : bool;
+  lp_events : int;
+  lp_transmissions : int;
+  lp_delivery : float;
+  lp_record_minor_per_ev : float;
+  lp_soa_minor_per_ev : float;
+  lp_record_promoted_per_ev : float;
+  lp_soa_promoted_per_ev : float;
+}
+
+type family_row = {
+  fr_name : string;
+  fr_delivery : float;
+  fr_latency_ms : float;
+  fr_network_load : float;
+  fr_byte_load : float;
+  fr_violations : int;
+  fr_events : int;
+}
+
+(* The family sweep uses a much denser terrain than the channel-scaling
+   one: ~15,000 m^2/node puts the mean decode-range degree around 13,
+   comfortably above the continuum-percolation threshold, so the network
+   is connected, delivery figures are meaningful, and the partition wall
+   actually severs live paths (at channel density the network is already
+   fragmented and a wall through it changes nothing). *)
+let scale_family_area_per_node = 15_000.
+
+let scale_families ~nodes ~duration =
+  let height =
+    sqrt (float_of_int nodes *. scale_family_area_per_node /. 5.)
+  in
+  let terrain = Geom.Terrain.create ~width:(5. *. height) ~height in
+  let base =
+    {
+      (channel_scenario ~nodes) with
+      Scenario.label = Printf.sprintf "scale-%dn" nodes;
+      terrain;
+      duration = Time.sec duration;
+    }
+    |> Scenario.with_soa true
+  in
+  let manhattan = Scenario.Manhattan { spacing = 200. } in
+  let rpgm =
+    Scenario.Rpgm { groups = Stdlib.max 2 (nodes / 50); radius = 100. }
+  in
+  let partition =
+    {
+      Scenario.part_at = Time.sec (duration /. 4.);
+      part_heal = Time.sec (duration *. 3. /. 4.);
+      part_x_frac = 0.5;
+    }
+  in
+  [
+    ("waypoint", base);
+    ("manhattan", Scenario.with_mobility manhattan base);
+    ("rpgm", Scenario.with_mobility rpgm base);
+    ("waypoint+shadow",
+     Scenario.with_shadowing (Some Scenario.default_shadowing) base);
+    ("waypoint+churn",
+     Scenario.with_churn (Some Scenario.default_churn) base);
+    ("manhattan+churn",
+     base
+     |> Scenario.with_mobility manhattan
+     |> Scenario.with_churn (Some Scenario.default_churn));
+    ("partition-heal", Scenario.with_partition (Some partition) base);
+  ]
+
+let scale_bench_json ~family_nodes ~family_duration layout families =
+  let lp p =
+    Printf.sprintf
+      "    { \"nodes\": %d, \"record_s\": %.4f, \"soa_s\": %.4f, \
+       \"speedup\": %.2f, \"identical\": %b, \"events\": %d, \
+       \"events_per_s_soa\": %.0f, \"transmissions\": %d, \
+       \"delivery_ratio\": %.4f, \"minor_words_per_event_record\": %.1f, \
+       \"minor_words_per_event_soa\": %.1f, \
+       \"promoted_words_per_event_record\": %.2f, \
+       \"promoted_words_per_event_soa\": %.2f }"
+      p.lp_nodes p.lp_record_s p.lp_soa_s
+      (p.lp_record_s /. p.lp_soa_s)
+      p.lp_identical p.lp_events
+      (float_of_int p.lp_events /. p.lp_soa_s)
+      p.lp_transmissions p.lp_delivery p.lp_record_minor_per_ev
+      p.lp_soa_minor_per_ev p.lp_record_promoted_per_ev
+      p.lp_soa_promoted_per_ev
+  in
+  let fr r =
+    Printf.sprintf
+      "    { \"family\": %S, \"delivery\": %.4f, \"latency_ms\": %.2f, \
+       \"network_load\": %.4f, \"byte_load\": %.1f, \
+       \"monitor_violations\": %d, \"events\": %d }"
+      r.fr_name r.fr_delivery r.fr_latency_ms r.fr_network_load
+      r.fr_byte_load r.fr_violations r.fr_events
+  in
+  let alloc_1000n =
+    match List.find_opt (fun p -> p.lp_nodes = 1000) layout with
+    | None -> []
+    | Some p ->
+        [
+          Printf.sprintf
+            "  \"alloc_1000n\": { \"minor_words_per_event_before\": %.1f, \
+             \"minor_words_per_event_record\": %.1f, \
+             \"minor_words_per_event_soa\": %.1f, \
+             \"reduction_pct_vs_before\": %.1f },"
+            scale_alloc_before_1000n p.lp_record_minor_per_ev
+            p.lp_soa_minor_per_ev
+            (100.
+            *. (scale_alloc_before_1000n -. p.lp_soa_minor_per_ev)
+            /. scale_alloc_before_1000n);
+        ]
+  in
+  String.concat "\n"
+    ([
+       "{";
+       "  \"benchmark\": \"city-scale\",";
+       Printf.sprintf
+         "  \"scenario\": \"LDR, %g m2/node (5:1 aspect), 10 flows, grid \
+          channel; soa = shared unboxed position planes + incremental \
+          cell index + flat MAC counter planes\","
+         channel_area_per_node;
+       Printf.sprintf
+         "  \"families_scenario\": \"%d nodes, %g s simulated, monitor \
+          armed, soa layout\","
+         family_nodes family_duration;
+     ]
+    @ alloc_1000n
+    @ [ "  \"layout_points\": [" ]
+    @ [ String.concat ",\n" (List.map lp layout) ]
+    @ [ "  ],"; "  \"families\": [" ]
+    @ [ String.concat ",\n" (List.map fr families) ]
+    @ [ "  ]"; "}" ])
+
+let scale_bench ~scale () =
+  heading
+    "City scale: struct-of-arrays node state vs per-node records (identical outcomes)";
+  let quick = scale.duration <= 30. in
+  let counts = if quick then [ 500 ] else [ 1000; 10_000 ] in
+  let duration = if quick then 20. else 60. in
+  let layout =
+    List.map
+      (fun nodes ->
+        (* Flows scale with the node count (10 per 1000 nodes) so the
+           10k point carries real traffic; 1000 nodes keeps the exact
+           channel-bench workload, preserving comparability with the
+           pre-PR allocation baseline. *)
+        let sc =
+          {
+            (channel_scenario ~nodes) with
+            Scenario.label = Printf.sprintf "scale-%dn" nodes;
+            duration = Time.sec duration;
+            traffic =
+              {
+                Traffic.default_config with
+                Traffic.num_flows = Stdlib.max 10 (nodes / 100);
+              };
+          }
+        in
+        let reps = if nodes >= 10_000 then 2 else 3 in
+        let record_s, orec, r_minor, r_promoted = timed_run ~reps sc in
+        let soa_s, osoa, s_minor, s_promoted =
+          timed_run ~reps (Scenario.with_soa true sc)
+        in
+        let identical = identical_outcomes orec osoa in
+        if not identical then
+          Printf.printf "  !! %d nodes: soa and record outcomes DIVERGE\n%!"
+            nodes;
+        let ev = float_of_int orec.Runner.events_processed in
+        {
+          lp_nodes = nodes;
+          lp_record_s = record_s;
+          lp_soa_s = soa_s;
+          lp_identical = identical;
+          lp_events = orec.Runner.events_processed;
+          lp_transmissions = orec.Runner.transmissions;
+          lp_delivery = Metrics.delivery_ratio orec.Runner.metrics;
+          lp_record_minor_per_ev = r_minor /. ev;
+          lp_soa_minor_per_ev = s_minor /. ev;
+          lp_record_promoted_per_ev = r_promoted /. ev;
+          lp_soa_promoted_per_ev = s_promoted /. ev;
+        })
+      counts
+  in
+  print_endline
+    (Stats.Table.render
+       ~header:
+         [ "nodes"; "record s"; "soa s"; "speedup"; "identical";
+           "minW/ev rec"; "minW/ev soa"; "delivery" ]
+       (List.map
+          (fun p ->
+            [
+              string_of_int p.lp_nodes;
+              Printf.sprintf "%.3f" p.lp_record_s;
+              Printf.sprintf "%.3f" p.lp_soa_s;
+              Printf.sprintf "%.2fx" (p.lp_record_s /. p.lp_soa_s);
+              (if p.lp_identical then "yes" else "NO");
+              Printf.sprintf "%.1f" p.lp_record_minor_per_ev;
+              Printf.sprintf "%.1f" p.lp_soa_minor_per_ev;
+              Printf.sprintf "%.4f" p.lp_delivery;
+            ])
+          layout));
+  (match List.find_opt (fun p -> p.lp_nodes = 1000) layout with
+  | Some p ->
+      Printf.printf
+        "  1000-node allocation: %.1f minor words/event before this PR, \
+         %.1f record, %.1f soa (%.1f%% below the pre-PR baseline)\n%!"
+        scale_alloc_before_1000n p.lp_record_minor_per_ev
+        p.lp_soa_minor_per_ev
+        (100.
+        *. (scale_alloc_before_1000n -. p.lp_soa_minor_per_ev)
+        /. scale_alloc_before_1000n)
+  | None -> ());
+  let family_nodes = if quick then 300 else 1000 in
+  let family_duration = if quick then 20. else 60. in
+  Printf.printf "\n  families: %d nodes, %g s, monitor armed, soa layout\n%!"
+    family_nodes family_duration;
+  let families =
+    List.map
+      (fun (name, sc) ->
+        let o = Runner.run ~monitor:true sc in
+        let m = o.Runner.metrics in
+        if o.Runner.invariant_violations > 0 then
+          Printf.printf "  !! %s: %d monitor violations\n%!" name
+            o.Runner.invariant_violations;
+        {
+          fr_name = name;
+          fr_delivery = Metrics.delivery_ratio m;
+          fr_latency_ms = Metrics.mean_latency_ms m;
+          fr_network_load = Metrics.network_load m;
+          fr_byte_load = Metrics.byte_load m;
+          fr_violations = o.Runner.invariant_violations;
+          fr_events = o.Runner.events_processed;
+        })
+      (scale_families ~nodes:family_nodes ~duration:family_duration)
+  in
+  print_endline
+    (Stats.Table.render
+       ~header:
+         [ "family"; "delivery"; "latency ms"; "net load"; "ctl B/pkt";
+           "monitor viol" ]
+       (List.map
+          (fun r ->
+            [
+              r.fr_name;
+              Printf.sprintf "%.4f" r.fr_delivery;
+              Printf.sprintf "%.2f" r.fr_latency_ms;
+              Printf.sprintf "%.4f" r.fr_network_load;
+              Printf.sprintf "%.1f" r.fr_byte_load;
+              string_of_int r.fr_violations;
+            ])
+          families));
+  let oc = open_out "BENCH_scale.json" in
+  output_string oc
+    (scale_bench_json ~family_nodes ~family_duration layout families);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  (wrote BENCH_scale.json)\n%!"
 
 (* ---- Engine scaling: binary-heap scheduler vs the calendar queue -------- *)
 
@@ -1599,6 +1931,7 @@ let all_experiments =
     ("aggregation", aggregation);
     ("discovery", discovery);
     ("channel", channel_scaling);
+    ("scale", scale_bench);
     ("engine", engine_scaling);
     ("obs", obs_overhead);
     ("parallel", parallel_sweep);
@@ -1631,7 +1964,7 @@ let () =
           selected := !selected @ [ name ]
       | other ->
           Printf.eprintf
-            "unknown argument %S (expected: table1 fig2..fig7 ablation aggregation discovery channel engine obs parallel pdes codec mcheck bechamel all --full --quick --csv=DIR)\n"
+            "unknown argument %S (expected: table1 fig2..fig7 ablation aggregation discovery channel scale engine obs parallel pdes codec mcheck bechamel all --full --quick --csv=DIR)\n"
             other;
           exit 2)
     args;

@@ -171,6 +171,140 @@ let shards =
            crossing latency is documented for the rest.  0 = one shard \
            per recommended core, capped at the node count.")
 
+(* --- world options: mobility family, link model, churn, state layout --- *)
+
+let mobility_conv =
+  let parse s =
+    let bad () =
+      Error
+        (`Msg
+          (Printf.sprintf
+             "bad mobility %S (want waypoint, manhattan[:SPACING] or \
+              rpgm[:GROUPS[:RADIUS]])"
+             s))
+    in
+    match String.split_on_char ':' s with
+    | [ "waypoint" ] -> Ok Scenario.Waypoint
+    | "manhattan" :: rest -> (
+        match rest with
+        | [] -> Ok (Scenario.Manhattan { spacing = 100. })
+        | [ sp ] -> (
+            match float_of_string_opt sp with
+            | Some spacing when spacing > 0. ->
+                Ok (Scenario.Manhattan { spacing })
+            | _ -> bad ())
+        | _ -> bad ())
+    | "rpgm" :: rest -> (
+        let mk groups radius = Ok (Scenario.Rpgm { groups; radius }) in
+        match rest with
+        | [] -> mk 4 100.
+        | [ g ] -> (
+            match int_of_string_opt g with
+            | Some g when g > 0 -> mk g 100.
+            | _ -> bad ())
+        | [ g; r ] -> (
+            match (int_of_string_opt g, float_of_string_opt r) with
+            | Some g, Some r when g > 0 && r > 0. -> mk g r
+            | _ -> bad ())
+        | _ -> bad ())
+    | _ -> bad ()
+  in
+  let print fmt = function
+    | Scenario.Waypoint -> Format.pp_print_string fmt "waypoint"
+    | Scenario.Manhattan { spacing } ->
+        Format.fprintf fmt "manhattan:%g" spacing
+    | Scenario.Rpgm { groups; radius } ->
+        Format.fprintf fmt "rpgm:%d:%g" groups radius
+  in
+  Arg.conv (parse, print)
+
+let mobility =
+  Arg.(
+    value
+    & opt mobility_conv Scenario.Waypoint
+    & info [ "mobility" ] ~docv:"FAMILY"
+        ~doc:
+          "Mobility family: $(b,waypoint) (random waypoint), \
+           $(b,manhattan:SPACING) (street-grid motion on a SPACING-metre \
+           lattice) or $(b,rpgm:GROUPS:RADIUS) (reference-point group \
+           mobility: GROUPS roaming clusters of radius RADIUS m).")
+
+let shadow =
+  Arg.(
+    value
+    & opt ~vopt:(Some Scenario.default_shadowing.Scenario.sigma_db)
+        (some float) None
+    & info [ "shadow" ] ~docv:"SIGMA"
+        ~doc:
+          "Log-normal shadowing with $(docv) dB standard deviation \
+           (default $(b,--shadow)=4): per-link fades are deterministic in \
+           the seed, so reruns and shard counts reproduce exactly.")
+
+let churn =
+  Arg.(
+    value
+    & opt ~vopt:(Some Scenario.default_churn.Scenario.churn_frac) (some float)
+        None
+    & info [ "churn" ] ~docv:"FRAC"
+        ~doc:
+          "Take a $(docv) fraction of nodes down once mid-run (default \
+           $(b,--churn)=0.2); half the departures crash (losing all \
+           routing state and sequence numbers) rather than leave \
+           gracefully, then rejoin 10-30 s later.")
+
+let partition =
+  Arg.(
+    value
+    & opt (some (pair ~sep:',' float float)) None
+    & info [ "partition" ] ~docv:"T1,T2"
+        ~doc:
+          "Drop an opaque wall across the terrain's vertical midline from \
+           second $(docv) T1 until it heals at T2.")
+
+let soa =
+  Arg.(
+    value & flag
+    & info [ "soa" ]
+        ~doc:
+          "Struct-of-arrays node state: positions in shared unboxed float \
+           arrays behind an incrementally-maintained spatial index.  \
+           Outcomes are byte-identical to the default layout; the win is \
+           allocation and cache behaviour at large node counts.")
+
+type world_opts = {
+  w_mobility : Scenario.mobility;
+  w_shadowing : Scenario.shadowing option;
+  w_churn : Scenario.churn option;
+  w_partition : Scenario.partition option;
+  w_soa : bool;
+}
+
+let world_term =
+  let make w_mobility sigma churn partition w_soa =
+    {
+      w_mobility;
+      w_shadowing =
+        Option.map
+          (fun sigma_db -> { Scenario.default_shadowing with sigma_db })
+          sigma;
+      w_churn =
+        Option.map
+          (fun churn_frac -> { Scenario.default_churn with churn_frac })
+          churn;
+      w_partition =
+        Option.map
+          (fun (t1, t2) ->
+            {
+              Scenario.part_at = Time.sec t1;
+              part_heal = Time.sec t2;
+              part_x_frac = 0.5;
+            })
+          partition;
+      w_soa;
+    }
+  in
+  Term.(const make $ mobility $ shadow $ churn $ partition $ soa)
+
 let trials =
   Arg.(value & opt int 3 & info [ "trials" ] ~docv:"T" ~doc:"Trials per point (sweep).")
 
@@ -189,8 +323,17 @@ let pauses =
     & opt (list float) [ 0.; 120.; 900. ]
     & info [ "pauses" ] ~docv:"LIST" ~doc:"Comma-separated pause times (sweep).")
 
-let scenario ?(shards = 1) protocol nodes width height flows pps pause speed_max
-    duration seed audit =
+let default_world =
+  {
+    w_mobility = Scenario.Waypoint;
+    w_shadowing = None;
+    w_churn = None;
+    w_partition = None;
+    w_soa = false;
+  }
+
+let scenario ?(shards = 1) ?(world = default_world) protocol nodes width height
+    flows pps pause speed_max duration seed audit =
   {
     Scenario.label = "cli";
     num_nodes = nodes;
@@ -215,6 +358,11 @@ let scenario ?(shards = 1) protocol nodes width height flows pps pause speed_max
     naive_channel = false;
     heap_scheduler = false;
     shards;
+    mobility = world.w_mobility;
+    shadowing = world.w_shadowing;
+    churn = world.w_churn;
+    partition = world.w_partition;
+    soa = world.w_soa;
   }
 
 (* Hand-rolled JSON: the trace schema is flat and the container ships no
@@ -325,11 +473,11 @@ let print_outcome (o : Runner.outcome) =
 let run_cmd =
   let action protocol nodes width height flows pps pause speed_max duration
       seed audit trace json trace_out pcap_out monitor sample sample_out
-      telemetry_out telemetry_prom telemetry_every inject_stale shards =
+      telemetry_out telemetry_prom telemetry_every inject_stale shards world =
     if trace then Trace.enable ();
     let sc =
-      scenario ~shards protocol nodes width height flows pps pause speed_max
-        duration seed audit
+      scenario ~shards ~world protocol nodes width height flows pps pause
+        speed_max duration seed audit
     in
     if not json then
       Format.printf
@@ -367,18 +515,18 @@ let run_cmd =
       const action $ protocol $ nodes $ width $ height $ flows $ pps $ pause
       $ speed_max $ duration $ seed $ audit $ trace $ json $ trace_out
       $ pcap_out $ monitor $ sample $ sample_out $ telemetry_out
-      $ telemetry_prom $ telemetry_every $ inject_stale $ shards)
+      $ telemetry_prom $ telemetry_every $ inject_stale $ shards $ world_term)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one scenario and print its metrics.") term
 
 let sweep_cmd =
   let action protocol nodes width height flows pps speed_max duration seed
-      trials pauses audit jobs =
+      trials pauses audit jobs world =
     (* The whole (pause x seed) matrix is one parallel batch; results
        merge in seed order, so any --jobs value prints the same table. *)
     let base =
-      scenario protocol nodes width height flows pps 0. speed_max duration
-        seed audit
+      scenario ~world protocol nodes width height flows pps 0. speed_max
+        duration seed audit
     in
     let points =
       List.map
@@ -415,7 +563,8 @@ let sweep_cmd =
   let term =
     Term.(
       const action $ protocol $ nodes $ width $ height $ flows $ pps
-      $ speed_max $ duration $ seed $ trials $ pauses $ audit $ jobs)
+      $ speed_max $ duration $ seed $ trials $ pauses $ audit $ jobs
+      $ world_term)
   in
   Cmd.v
     (Cmd.info "sweep"

@@ -32,6 +32,11 @@ let scenario protocol seed =
     naive_channel = false;
     heap_scheduler = false;
     shards = 1;
+    mobility = Scenario.Waypoint;
+    shadowing = None;
+    churn = None;
+    partition = None;
+    soa = false;
   }
 
 let () =

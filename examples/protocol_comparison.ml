@@ -31,6 +31,11 @@ let scenario protocol =
     naive_channel = false;
     heap_scheduler = false;
     shards = 1;
+    mobility = Scenario.Waypoint;
+    shadowing = None;
+    churn = None;
+    partition = None;
+    soa = false;
   }
 
 let () =

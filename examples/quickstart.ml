@@ -35,6 +35,11 @@ let () =
       naive_channel = false;
       heap_scheduler = false;
       shards = 1;
+      mobility = Scenario.Waypoint;
+      shadowing = None;
+      churn = None;
+      partition = None;
+      soa = false;
     }
   in
   let outcome = Runner.run scenario in

@@ -444,6 +444,29 @@ let recv t payload ~from =
       handle_rerr t unreachable ~from
   | Payload.Ldr _ | Payload.Dsr _ | Payload.Olsr _ -> ()
 
+(* Churn teardown (Agent.reset): AODV keeps its sequence number in
+   volatile memory, so a crash reboots it at 0 — the classic stale-seqno
+   loop stressor (van Glabbeek et al.). *)
+let reset t ~crash =
+  Node_id.Table.iter
+    (fun _ (p : pending) ->
+      match p.p_timer with
+      | Some h ->
+          Engine.cancel t.ctx.engine h;
+          p.p_timer <- None
+      | None -> ())
+    t.pending;
+  Node_id.Table.reset t.pending;
+  Routing.Packet_buffer.clear t.buffer ~reason:"node-down";
+  Node_id.Table.reset t.table;
+  Routing.Rreq_cache.clear t.cache;
+  Node_id.Table.reset t.last_hello;
+  t.ctx.table_changed ();
+  if crash then begin
+    t.own_sn <- 0;
+    t.next_rreq_id <- 0
+  end
+
 let factory ?(config = default_config) () (ctx : RA.ctx) =
   let t =
     {
@@ -489,4 +512,5 @@ let factory ?(config = default_config) () (ctx : RA.ctx) =
     own_seqno = (fun () -> float_of_int t.own_sn);
     invariants = (fun _ -> None);
     route_stats = (fun () -> (Node_id.Table.length t.table, 0, 0));
+    reset = (fun ~crash -> reset t ~crash);
   }

@@ -539,6 +539,31 @@ let recv t payload ~from =
       handle_rerr t unreachable ~from
   | Payload.Aodv _ | Payload.Dsr _ | Payload.Olsr _ -> ()
 
+(* Churn teardown (Agent.reset).  A crash additionally loses the node's
+   own sequence number — rebooting at [Seqnum.initial] is exactly the
+   volatile-seqno scenario where plain seqno protocols loop; LDR's
+   clock-stamped numbers recover because the next increment jumps to the
+   wall clock (see [increment_own]). *)
+let reset t ~crash =
+  Node_id.Table.iter
+    (fun _ (p : pending) ->
+      match p.p_timer with
+      | Some h ->
+          Engine.cancel t.ctx.engine h;
+          p.p_timer <- None
+      | None -> ())
+    t.pending;
+  Node_id.Table.reset t.pending;
+  Routing.Packet_buffer.clear t.buffer ~reason:"node-down";
+  Route_table.clear t.table;
+  Routing.Rreq_cache.clear t.cache;
+  t.ctx.table_changed ();
+  if crash then begin
+    t.own_sn <- Seqnum.initial ~stamp:0;
+    t.own_increments <- 0;
+    t.next_rreq_id <- 0
+  end
+
 let make ?(config = Config.default) (ctx : RA.ctx) =
   let t =
     {
@@ -594,6 +619,7 @@ let make ?(config = Config.default) (ctx : RA.ctx) =
                 fd_sum := !fd_sum + e.Route_table.fd
               end);
           (!entries, !finite, !fd_sum));
+      reset = (fun ~crash -> reset t ~crash);
     }
   in
   (agent, t)

@@ -217,6 +217,20 @@ let fail_route t dst ~via =
             `Invalidated
       end
 
+(* Churn teardown: every active route is invalidated through the normal
+   observable write (the monitor and flap analyzer must see the edges
+   disappear — a silently vanishing successor could pair with a rebooted
+   node's fresh state to fake a loop), then the entries are dropped. *)
+let clear t =
+  Node_id.Table.iter
+    (fun dst e ->
+      let old_succ = succ_int e in
+      e.next_hop <- None;
+      e.alternates <- [];
+      if old_succ >= 0 then emit_write t ~dst ~old_succ e)
+    t.entries;
+  Node_id.Table.reset t.entries
+
 let successor t dst =
   match active t dst with Some e -> e.next_hop | None -> None
 

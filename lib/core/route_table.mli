@@ -97,4 +97,9 @@ val fail_route :
 val successor : t -> Node_id.t -> Node_id.t option
 (** Next hop of the active route, if any. *)
 
+val clear : t -> unit
+(** Churn teardown: invalidate every route through the normal observable
+    table write (successor -> none), then drop all entries.  The loop
+    monitor and flap analyzer see the edges disappear. *)
+
 val iter : t -> (Node_id.t -> entry -> unit) -> unit

@@ -368,6 +368,25 @@ let overheard t payload ~from ~dst:_ =
   | Payload.Olsr _ ->
       ()
 
+(* Churn teardown (Agent.reset).  DSR keeps no sequence numbers, so
+   crash and graceful leave tear down the same volatile state: cached
+   source routes, duplicate tables, buffered data, pending
+   discoveries. *)
+let reset t ~crash:_ =
+  Node_id.Table.iter
+    (fun _ (p : pending) ->
+      match p.p_timer with
+      | Some h ->
+          Engine.cancel t.ctx.engine h;
+          p.p_timer <- None
+      | None -> ())
+    t.pending;
+  Node_id.Table.reset t.pending;
+  Routing.Packet_buffer.clear t.buffer ~reason:"node-down";
+  Route_cache.clear t.cache;
+  Routing.Rreq_cache.clear t.seen;
+  Routing.Rreq_cache.clear t.shortened
+
 let factory ?(config = default_config) () (ctx : RA.ctx) =
   let t =
     {
@@ -397,4 +416,5 @@ let factory ?(config = default_config) () (ctx : RA.ctx) =
     own_seqno = (fun () -> 0.);
     invariants = (fun _ -> None);
     route_stats = (fun () -> (0, 0, 0));
+    reset = (fun ~crash -> reset t ~crash);
   }

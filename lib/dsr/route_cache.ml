@@ -84,3 +84,5 @@ let remove_link t a b =
   t.store <- List.filter (fun p -> List.length p.nodes >= 2) t.store
 
 let paths t = List.filter_map (fun p -> if live t p then Some p.nodes else None) t.store
+
+let clear t = t.store <- []

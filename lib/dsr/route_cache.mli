@@ -26,3 +26,6 @@ val remove_link : t -> Node_id.t -> Node_id.t -> unit
 
 val paths : t -> Node_id.t list list
 (** Live cached paths, for tests and debugging. *)
+
+val clear : t -> unit
+(** Drop every cached path — churn teardown. *)

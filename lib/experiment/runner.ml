@@ -68,7 +68,123 @@ let null_agent : Routing.Agent.t =
     own_seqno = (fun () -> 0.);
     invariants = (fun _ -> None);
     route_stats = (fun () -> (0, 0, 0));
+    reset = (fun ~crash:_ -> ());
   }
+
+(* Every node's mobility process, drawn in one canonical order shared
+   by the classic and PDES paths so all shard counts see identical
+   streams: RPGM group centres first (one [Rng.split mobility_rng]
+   each), then per node [i] ascending one split per node that draws
+   randomness at all.  Static nodes ([speed_max <= 0]) draw nothing —
+   exactly the pre-existing waypoint contract. *)
+let make_mobs (sc : Scenario.t) ~mobility_rng ~(starts : Geom.Vec2.t array) =
+  let n = sc.num_nodes in
+  let static = sc.speed_max <= 0. in
+  let mobs = Array.make n (Mobility.static (Geom.Vec2.v 0. 0.)) in
+  (match sc.mobility with
+  | Scenario.Rpgm { groups; radius } when not static ->
+      let g = Stdlib.max 1 (Stdlib.min groups n) in
+      let centres = Array.make g None in
+      for j = 0 to g - 1 do
+        (* The centre starts where the group's first member was placed,
+           so group clusters respect the scenario's placement. *)
+        centres.(j) <-
+          Some
+            (Mobility.rpgm_group ~terrain:sc.terrain
+               ~rng:(Rng.split mobility_rng) ~speed_min:sc.speed_min
+               ~speed_max:sc.speed_max ~pause:sc.pause
+               ~start:starts.(j * n / g))
+      done;
+      for i = 0 to n - 1 do
+        let r = Rng.split mobility_rng in
+        let ang = Rng.float r (2. *. Float.pi) in
+        let rad = radius *. sqrt (Rng.float r 1.) in
+        let centre =
+          match centres.(i * g / n) with Some c -> c | None -> assert false
+        in
+        mobs.(i) <-
+          Mobility.rpgm_member centre ~ox:(rad *. cos ang)
+            ~oy:(rad *. sin ang)
+      done
+  | _ ->
+      for i = 0 to n - 1 do
+        mobs.(i) <-
+          (if static then Mobility.static starts.(i)
+           else
+             let rng = Rng.split mobility_rng in
+             match sc.mobility with
+             | Scenario.Manhattan { spacing } ->
+                 Mobility.manhattan ~terrain:sc.terrain ~rng ~spacing
+                   ~speed_min:sc.speed_min ~speed_max:sc.speed_max
+                   ~pause:sc.pause ~start:starts.(i)
+             | _ ->
+                 Mobility.waypoint ~terrain:sc.terrain ~rng
+                   ~speed_min:sc.speed_min ~speed_max:sc.speed_max
+                   ~pause:sc.pause ~start:starts.(i))
+      done);
+  mobs
+
+(* Fresh per call: on a sharded run every region's channel gets its own
+   instance (the shadowing memo table is not shared across domains), all
+   drawing identical per-pair gains from the same scenario seed. *)
+let make_link (sc : Scenario.t) =
+  match (sc.shadowing, sc.partition) with
+  | None, None -> None
+  | sh, pa ->
+      let shadowing =
+        Option.map
+          (fun (s : Scenario.shadowing) ->
+            (sc.seed lxor 0x5348_4144, s.Scenario.sigma_db, s.Scenario.eta))
+          sh
+      in
+      let partition =
+        Option.map
+          (fun (p : Scenario.partition) ->
+            ( p.Scenario.part_at,
+              p.Scenario.part_heal,
+              p.Scenario.part_x_frac *. sc.terrain.Geom.Terrain.width ))
+          pa
+      in
+      Some (Net.Link_model.create ?shadowing ?partition ())
+
+(* One down/up cycle per selected node, precomputed from a stream
+   independent of every simulation stream (placement, mobility,
+   traffic, MAC, agents), so arming churn changes no other draw.
+   [schedule] places the toggles: the classic path uses [Engine.at] on
+   the single engine, the sharded path on the node's home engine —
+   both are events at exact virtual times, so outcomes agree. *)
+let plan_churn (sc : Scenario.t) ~(schedule : int -> Time.t -> (unit -> unit) -> unit)
+    ~(take_down : int -> crash:bool -> unit) ~(bring_up : int -> unit) =
+  match sc.churn with
+  | None -> ()
+  | Some c ->
+      let churn_rng = Rng.create (sc.seed lxor 0x6368_7572) in
+      let window =
+        Float.max 0.
+          (Time.to_sec c.Scenario.churn_stop
+          -. Time.to_sec c.Scenario.churn_start)
+      in
+      let spread =
+        Float.max 0.
+          (Time.to_sec c.Scenario.down_max -. Time.to_sec c.Scenario.down_min)
+      in
+      for i = 0 to sc.num_nodes - 1 do
+        let r = Rng.split churn_rng in
+        if Rng.float r 1. < c.Scenario.churn_frac then begin
+          let t_down =
+            Time.add c.Scenario.churn_start
+              (Time.sec (if window > 0. then Rng.float r window else 0.))
+          in
+          let dur =
+            Time.to_sec c.Scenario.down_min
+            +. (if spread > 0. then Rng.float r spread else 0.)
+          in
+          let t_up = Time.add t_down (Time.sec dur) in
+          let crash = Rng.float r 1. < c.Scenario.crash_frac in
+          schedule i t_down (fun () -> take_down i ~crash);
+          schedule i t_up (fun () -> bring_up i)
+        end
+      done
 
 let build ?on_engine ?obs (sc : Scenario.t) =
   let engine =
@@ -94,34 +210,44 @@ let build ?on_engine ?obs (sc : Scenario.t) =
   let mobility_rng = Rng.split root in
   let traffic_rng = Rng.split root in
   let metrics = Metrics.create () in
+  let n = sc.num_nodes in
+  let starts = Scenario.positions sc placement_rng in
+  let mobs = make_mobs sc ~mobility_rng ~starts in
+  let nodes =
+    if sc.soa then
+      Some
+        (Net.Nodes.create ~width:sc.terrain.Geom.Terrain.width
+           ~height:sc.terrain.Geom.Terrain.height mobs ~at:Time.zero)
+    else None
+  in
   let channel =
     Net.Channel.create ~engine
-      ~mode:(if sc.naive_channel then Net.Channel.Naive else Net.Channel.Grid)
+      ~mode:
+        (if sc.soa then Net.Channel.Soa
+         else if sc.naive_channel then Net.Channel.Naive
+         else Net.Channel.Grid)
       ~max_speed:(Float.max sc.speed_max 0.)
-      ~obs:bus ~params:sc.net ()
+      ?world:
+        (Option.map
+           (fun nd ->
+             (Net.Nodes.store nd, Net.Nodes.width nd, Net.Nodes.height nd))
+           nodes)
+      ?link:(make_link sc) ~obs:bus ~params:sc.net ()
   in
   Net.Channel.add_transmit_hook channel (fun _src frame ->
       Metrics.transmitted metrics frame);
-  let n = sc.num_nodes in
   let agents : Routing.Agent.t array = Array.make n null_agent in
   let audit_scratch = Array.make n (-1) in
   let audit_gen = ref 0 in
   let factory = Scenario.factory sc.protocol in
   let macs = ref [] in
-  let starts = Scenario.positions sc placement_rng in
   for i = 0 to n - 1 do
     let id = Node_id.of_int i in
-    let start = starts.(i) in
-    let mob =
-      if sc.speed_max <= 0. then Mobility.static start
-      else
-        Mobility.waypoint ~terrain:sc.terrain ~rng:(Rng.split mobility_rng)
-          ~speed_min:sc.speed_min ~speed_max:sc.speed_max ~pause:sc.pause
-          ~start
-    in
+    let mob = mobs.(i) in
     let position () = Mobility.position mob (Engine.now engine) in
     let mac =
       Net.Mac.create ~engine ~channel ~rng:(Rng.split root) ~id ~position
+        ?world:(Option.map (fun nd -> (nd, i)) nodes)
         {
           Net.Mac.receive =
             (fun payload ~from ->
@@ -183,6 +309,7 @@ let build ?on_engine ?obs (sc : Scenario.t) =
     agents.(i) <- factory ctx
   done;
   Array.iter (fun (a : Routing.Agent.t) -> a.start ()) agents;
+  let mac_arr = Array.of_list (List.rev !macs) in
   (* The span trail starts at the application boundary: one Originate
      record per data packet, before the agent sees it. *)
   let span_originate ~src (msg : Data_msg.t) =
@@ -193,12 +320,32 @@ let build ?on_engine ?obs (sc : Scenario.t) =
         ~d:(Node_id.to_int msg.Data_msg.dst)
         ~e:msg.Data_msg.payload_bytes ~f:(-1)
   in
+  (* A down node originates nothing: the gate is checked at emission
+     time against the churn plan, whose toggles are events at exact
+     virtual times — so the classic and sharded paths agree on exactly
+     which originations are skipped. *)
+  let down = Array.make n false in
   Traffic.setup ~engine ~rng:traffic_rng ~num_nodes:n ~config:sc.traffic
     ~until:sc.duration
     ~emit:(fun ~src msg ->
-      span_originate ~src msg;
-      Metrics.data_originated metrics msg;
-      agents.(Node_id.to_int src).Routing.Agent.origin_data msg);
+      if not down.(Node_id.to_int src) then begin
+        span_originate ~src msg;
+        Metrics.data_originated metrics msg;
+        agents.(Node_id.to_int src).Routing.Agent.origin_data msg
+      end);
+  plan_churn sc
+    ~schedule:(fun _i at fn -> ignore (Engine.at engine at fn))
+    ~take_down:(fun i ~crash ->
+      down.(i) <- true;
+      (match nodes with Some nd -> Net.Nodes.set_up nd i false | None -> ());
+      Net.Channel.set_attached channel (Net.Mac.radio mac_arr.(i)) false;
+      Net.Mac.set_down mac_arr.(i) true;
+      agents.(i).Routing.Agent.reset ~crash)
+    ~bring_up:(fun i ->
+      down.(i) <- false;
+      (match nodes with Some nd -> Net.Nodes.set_up nd i true | None -> ());
+      Net.Channel.set_attached channel (Net.Mac.radio mac_arr.(i)) true;
+      Net.Mac.set_down mac_arr.(i) false);
   let injected = ref 0 in
   let inject ~src ~dst =
     incr injected;
@@ -223,7 +370,7 @@ let build ?on_engine ?obs (sc : Scenario.t) =
   {
     engine;
     agents;
-    macs = Array.of_list (List.rev !macs);
+    macs = mac_arr;
     channel;
     bus;
     inject;
@@ -259,6 +406,7 @@ let attach_telemetry sim ?jsonl ?prom ~every ~until () =
   let sample () =
     Obs.Telemetry.record c ~time:(Engine.now sim.engine)
       ~domains:[| Obs.Telemetry.domain_of_engine sim.engine |]
+      ~grid:(Net.Channel.index_stats sim.channel)
       ()
   in
   Engine.every sim.engine ~start:Time.zero ~interval:every ~until sample;
@@ -324,17 +472,6 @@ let run_pdes ?workers ~monitor ?trace_out ?telemetry_out ?telemetry_prom
   let buses = Array.init k (fun _ -> Obs.Bus.create ()) in
   let shard_metrics = Array.init k (fun _ -> Metrics.create ~journal:true ()) in
   let max_speed = Float.max sc.speed_max 0. in
-  let channels =
-    Array.init k (fun r ->
-        Net.Channel.create ~engine:engines.(r)
-          ~mode:(if sc.naive_channel then Net.Channel.Naive else Net.Channel.Grid)
-          ~max_speed ~obs:buses.(r) ~params:sc.net ())
-  in
-  Array.iteri
-    (fun r ch ->
-      Net.Channel.add_transmit_hook ch (fun _src frame ->
-          Metrics.transmitted shard_metrics.(r) frame))
-    channels;
   (* Exactly the classic path's setup-stream split order, drawn from an
      identical root (the classic root is the engine's own RNG, which is
      [Rng.create seed]): placement, mobility, traffic, then per node
@@ -345,12 +482,44 @@ let run_pdes ?workers ~monitor ?trace_out ?telemetry_out ?telemetry_prom
   let mobility_rng = Rng.split root in
   let traffic_rng = Rng.split root in
   let starts = Scenario.positions sc placement_rng in
+  let mobs = make_mobs sc ~mobility_rng ~starts in
+  (* One global position store shared by every region's channel: node
+     [i]'s row is only ever refreshed by events on its home shard (its
+     radio is attached to that channel alone) or at quiesced window
+     boundaries, so rows are touched by one domain per window. *)
+  let nodes =
+    if sc.soa then
+      Some
+        (Net.Nodes.create ~width:sc.terrain.Geom.Terrain.width
+           ~height:sc.terrain.Geom.Terrain.height mobs ~at:Time.zero)
+    else None
+  in
+  let world =
+    Option.map
+      (fun nd ->
+        (Net.Nodes.store nd, Net.Nodes.width nd, Net.Nodes.height nd))
+      nodes
+  in
+  let channels =
+    Array.init k (fun r ->
+        Net.Channel.create ~engine:engines.(r)
+          ~mode:
+            (if sc.soa then Net.Channel.Soa
+             else if sc.naive_channel then Net.Channel.Naive
+             else Net.Channel.Grid)
+          ~max_speed ?world ?link:(make_link sc) ~obs:buses.(r)
+          ~params:sc.net ())
+  in
+  Array.iteri
+    (fun r ch ->
+      Net.Channel.add_transmit_hook ch (fun _src frame ->
+          Metrics.transmitted shard_metrics.(r) frame))
+    channels;
   (* A node belongs to the region of its initial position for the whole
      run; mobility across a border only widens that region's occupancy
      band. *)
   let home = Array.map (fun p -> Geom.Partition.region_of part p) starts in
   let agents : Routing.Agent.t array = Array.make n null_agent in
-  let mobs = Array.make n (Mobility.static starts.(0)) in
   let audit_scratch = Array.make n (-1) in
   let audit_gen = ref 0 in
   let factory = Scenario.factory sc.protocol in
@@ -361,19 +530,12 @@ let run_pdes ?workers ~monitor ?trace_out ?telemetry_out ?telemetry_prom
     let engine = engines.(r) in
     let bus = buses.(r) in
     let metrics = shard_metrics.(r) in
-    let start = starts.(i) in
-    let mob =
-      if sc.speed_max <= 0. then Mobility.static start
-      else
-        Mobility.waypoint ~terrain:sc.terrain ~rng:(Rng.split mobility_rng)
-          ~speed_min:sc.speed_min ~speed_max:sc.speed_max ~pause:sc.pause
-          ~start
-    in
-    mobs.(i) <- mob;
+    let mob = mobs.(i) in
     let position () = Mobility.position mob (Engine.now engine) in
     let mac =
       Net.Mac.create ~engine ~channel:channels.(r) ~rng:(Rng.split root) ~id
         ~position
+        ?world:(Option.map (fun nd -> (nd, i)) nodes)
         {
           Net.Mac.receive =
             (fun payload ~from ->
@@ -435,9 +597,11 @@ let run_pdes ?workers ~monitor ?trace_out ?telemetry_out ?telemetry_prom
     agents.(i) <- factory ctx
   done;
   Array.iter (fun (a : Routing.Agent.t) -> a.start ()) agents;
+  let mac_arr = Array.of_list (List.rev !macs) in
   (* The classic path draws the workload lazily while the clock runs;
      [Traffic.plan] makes the identical draws up front (same stream,
      same order) so each flow can be armed on its source's engine. *)
+  let down = Array.make n false in
   let flows =
     Traffic.plan ~rng:traffic_rng ~num_nodes:n ~config:sc.traffic
       ~until:sc.duration
@@ -447,17 +611,42 @@ let run_pdes ?workers ~monitor ?trace_out ?telemetry_out ?telemetry_prom
       let r = home.(Node_id.to_int f.Traffic.f_src) in
       Traffic.arm ~engine:engines.(r) ~config:sc.traffic
         ~emit:(fun ~src msg ->
-          (if Obs.Bus.on buses.(r) then
-             Obs.Bus.span buses.(r)
-               ~time:(Engine.now engines.(r))
-               ~node:(Node_id.to_int src) ~stage:Obs.Span.Stage.originate
-               ~flow:msg.Data_msg.flow_id ~seq:msg.Data_msg.seq
-               ~d:(Node_id.to_int msg.Data_msg.dst)
-               ~e:msg.Data_msg.payload_bytes ~f:(-1));
-          Metrics.data_originated shard_metrics.(r) msg;
-          agents.(Node_id.to_int src).Routing.Agent.origin_data msg)
+          if not down.(Node_id.to_int src) then begin
+            (if Obs.Bus.on buses.(r) then
+               Obs.Bus.span buses.(r)
+                 ~time:(Engine.now engines.(r))
+                 ~node:(Node_id.to_int src) ~stage:Obs.Span.Stage.originate
+                 ~flow:msg.Data_msg.flow_id ~seq:msg.Data_msg.seq
+                 ~d:(Node_id.to_int msg.Data_msg.dst)
+                 ~e:msg.Data_msg.payload_bytes ~f:(-1));
+            Metrics.data_originated shard_metrics.(r) msg;
+            agents.(Node_id.to_int src).Routing.Agent.origin_data msg
+          end)
         f)
     flows;
+  (* Churn toggles run as ordinary events on the node's home engine:
+     everything they touch (the node's MAC, its radio on the home
+     channel, its agent, its store row, its [down] gate read by traffic
+     armed on the same engine) is owned by that shard. *)
+  plan_churn sc
+    ~schedule:(fun i at fn -> ignore (Engine.at engines.(home.(i)) at fn))
+    ~take_down:(fun i ~crash ->
+      down.(i) <- true;
+      (match nodes with Some nd -> Net.Nodes.set_up nd i false | None -> ());
+      Net.Channel.set_attached
+        channels.(home.(i))
+        (Net.Mac.radio mac_arr.(i))
+        false;
+      Net.Mac.set_down mac_arr.(i) true;
+      agents.(i).Routing.Agent.reset ~crash)
+    ~bring_up:(fun i ->
+      down.(i) <- false;
+      (match nodes with Some nd -> Net.Nodes.set_up nd i true | None -> ());
+      Net.Channel.set_attached
+        channels.(home.(i))
+        (Net.Mac.radio mac_arr.(i))
+        true;
+      Net.Mac.set_down mac_arr.(i) false);
   (* Cross-shard routing: a transmission at x is forwarded to every
      other region whose occupancy band, inflated by the carrier-sense
      range, contains x.  Bands are refreshed at forced boundaries every
@@ -472,10 +661,20 @@ let run_pdes ?workers ~monitor ?trace_out ?telemetry_out ?telemetry_prom
     Array.fill band_lo 0 k infinity;
     Array.fill band_hi 0 k neg_infinity;
     for i = 0 to n - 1 do
-      let p = Mobility.position mobs.(i) t_now in
+      (* Runs at quiesced boundaries only, so touching every store row
+         from the coordinator is race-free; per-row queries stay
+         monotone (every shard's clock is exactly [t_now]). *)
+      let x =
+        match nodes with
+        | Some nd ->
+            let st = Net.Nodes.store nd in
+            Mobility.Pos_store.refresh st i t_now;
+            Mobility.Pos_store.x st i
+        | None -> (Mobility.position mobs.(i) t_now).Geom.Vec2.x
+      in
       let r = home.(i) in
-      if p.Geom.Vec2.x < band_lo.(r) then band_lo.(r) <- p.Geom.Vec2.x;
-      if p.Geom.Vec2.x > band_hi.(r) then band_hi.(r) <- p.Geom.Vec2.x
+      if x < band_lo.(r) then band_lo.(r) <- x;
+      if x > band_hi.(r) then band_hi.(r) <- x
     done;
     for r = 0 to k - 1 do
       band_lo.(r) <- band_lo.(r) -. pad;
@@ -627,7 +826,6 @@ let run_pdes ?workers ~monitor ?trace_out ?telemetry_out ?telemetry_prom
     (fun (a : Routing.Agent.t) -> total := !total +. a.own_seqno ())
     agents;
   Metrics.set_mean_dest_seqno merged (!total /. float_of_int n);
-  let mac_arr = Array.of_list (List.rev !macs) in
   let sum f = Array.fold_left (fun acc m -> acc + f m) 0 mac_arr in
   let stats = Pdes.stats pdes in
   {

@@ -37,6 +37,45 @@ let factory = function
 
 type placement = Uniform | Grid | Fixed of Geom.Vec2.t list
 
+type mobility =
+  | Waypoint
+  | Manhattan of { spacing : float }
+  | Rpgm of { groups : int; radius : float }
+
+let mobility_name = function
+  | Waypoint -> "waypoint"
+  | Manhattan _ -> "manhattan"
+  | Rpgm _ -> "rpgm"
+
+type shadowing = { sigma_db : float; eta : float }
+
+let default_shadowing = { sigma_db = 4.; eta = 3. }
+
+type churn = {
+  churn_frac : float;
+  crash_frac : float;
+  down_min : Time.t;
+  down_max : Time.t;
+  churn_start : Time.t;
+  churn_stop : Time.t;
+}
+
+let default_churn =
+  {
+    churn_frac = 0.2;
+    crash_frac = 0.5;
+    down_min = Time.sec 10.;
+    down_max = Time.sec 30.;
+    churn_start = Time.sec 10.;
+    churn_stop = Time.sec 60.;
+  }
+
+type partition = {
+  part_at : Time.t;
+  part_heal : Time.t;
+  part_x_frac : float;
+}
+
 type t = {
   label : string;
   num_nodes : int;
@@ -56,6 +95,14 @@ type t = {
   shards : int;
       (* <= 1: classic single-engine run; K >= 2: spatially-sharded
          PDES across K regions; 0: auto (recommended domains, capped) *)
+  mobility : mobility;
+  shadowing : shadowing option;
+  churn : churn option;
+  partition : partition option;
+  soa : bool;
+      (* route node state through the struct-of-arrays hot path
+         (Net.Nodes + Channel Soa mode); outcomes are byte-identical
+         to the record path, so this is purely a performance axis *)
 }
 
 let paper_50 protocol =
@@ -76,6 +123,11 @@ let paper_50 protocol =
     naive_channel = false;
     heap_scheduler = false;
     shards = 1;
+    mobility = Waypoint;
+    shadowing = None;
+    churn = None;
+    partition = None;
+    soa = false;
   }
 
 let paper_100 protocol =
@@ -115,4 +167,9 @@ let with_seed seed t = { t with seed }
 let with_naive_channel naive_channel t = { t with naive_channel }
 let with_heap_scheduler heap_scheduler t = { t with heap_scheduler }
 let with_shards shards t = { t with shards }
+let with_mobility mobility t = { t with mobility }
+let with_shadowing shadowing t = { t with shadowing }
+let with_churn churn t = { t with churn }
+let with_partition partition t = { t with partition }
+let with_soa soa t = { t with soa }
 let scaled ~duration t = { t with duration }

@@ -39,6 +39,52 @@ type placement =
   | Grid  (** near-square grid filling the terrain *)
   | Fixed of Geom.Vec2.t list  (** explicit positions, one per node *)
 
+(** Mobility family (see docs/SCENARIOS.md).  All families are inert
+    when [speed_max <= 0] — every node is static. *)
+type mobility =
+  | Waypoint  (** random waypoint — the paper's model (default) *)
+  | Manhattan of { spacing : float }
+      (** city-block movement on a street lattice [spacing] m apart *)
+  | Rpgm of { groups : int; radius : float }
+      (** reference-point group mobility: [groups] waypoint group
+          centres, members offset uniformly within [radius] m *)
+
+val mobility_name : mobility -> string
+
+type shadowing = { sigma_db : float; eta : float }
+(** Log-normal shadowing: per-unordered-pair normal dB offset of spread
+    [sigma_db] through path-loss exponent [eta] ({!Net.Link_model}).
+    Seeded from the scenario seed — deterministic per link. *)
+
+val default_shadowing : shadowing
+(** sigma = 4 dB, eta = 3 — suburban-ish. *)
+
+type churn = {
+  churn_frac : float;  (** fraction of nodes that cycle down/up once *)
+  crash_frac : float;
+      (** of the churners, the fraction that {e crash} (volatile state
+          including the own sequence number is lost) rather than leave
+          gracefully (sequence number survives the reboot) *)
+  down_min : Sim.Time.t;
+  down_max : Sim.Time.t;  (** downtime drawn uniformly from the range *)
+  churn_start : Sim.Time.t;
+  churn_stop : Sim.Time.t;  (** down instants drawn in this window *)
+}
+
+val default_churn : churn
+(** 20% of nodes cycle once between t=10s and t=60s, half of them
+    crashing, staying down 10-30 s. *)
+
+type partition = {
+  part_at : Sim.Time.t;
+  part_heal : Sim.Time.t;
+  part_x_frac : float;
+      (** wall abscissa as a fraction of the terrain width *)
+}
+(** Partition-then-heal: a vertical wall at
+    [part_x_frac * terrain.width] absorbs every crossing transmission
+    during [\[part_at, part_heal)] ({!Net.Link_model}). *)
+
 type t = {
   label : string;
   num_nodes : int;
@@ -72,6 +118,17 @@ type t = {
           ({!Sim.Pdes}; see docs/PARALLELISM.md for the determinism
           contract).  [0]: auto — recommended domain count capped at
           the node count. *)
+  mobility : mobility;  (** movement family (default [Waypoint]) *)
+  shadowing : shadowing option;
+  churn : churn option;
+  partition : partition option;
+  soa : bool;
+      (** route node state through the struct-of-arrays hot path:
+          positions in a shared {!Mobility.Pos_store}, candidates from
+          the incremental {!Geom.Cell_index}, MAC counters in flat
+          {!Net.Nodes} planes.  Outcomes are byte-identical to the
+          record path (default [false]) — a pure performance axis,
+          differential-tested in [test_world.ml]. *)
 }
 
 val paper_50 : protocol -> t
@@ -90,5 +147,10 @@ val with_seed : int -> t -> t
 val with_naive_channel : bool -> t -> t
 val with_heap_scheduler : bool -> t -> t
 val with_shards : int -> t -> t
+val with_mobility : mobility -> t -> t
+val with_shadowing : shadowing option -> t -> t
+val with_churn : churn option -> t -> t
+val with_partition : partition option -> t -> t
+val with_soa : bool -> t -> t
 val scaled : duration:Sim.Time.t -> t -> t
 (** Shorten a paper scenario for laptop-scale reproduction. *)

@@ -143,6 +143,7 @@ let null_agent =
     own_seqno = (fun () -> 0.);
     invariants = (fun _ -> None);
     route_stats = (fun () -> (0, 0, 0));
+    reset = (fun ~crash:_ -> ());
   }
 
 let create_custom ?obs ~engine ~factories () =

@@ -71,13 +71,19 @@ let build (type a) (t : a t) ~(pos : a -> Vec2.t) (items : a list) =
     t.rows <- 0
   end
   else begin
-    if Array.length t.sx < n then begin
-      t.sx <- Array.make n 0.;
-      t.sy <- Array.make n 0.;
-      t.sv <- Array.make n (Obj.repr ());
-      t.xs <- Array.make n 0.;
-      t.ys <- Array.make n 0.;
-      t.vs <- Array.make n (Obj.repr ())
+    (* Reuse the arrays across builds; grow with headroom so steady
+       growth doesn't reallocate every build, and shrink when the batch
+       has dropped to a quarter of capacity (churn scenarios) so a burst
+       of joins doesn't pin memory forever. *)
+    let cap = Array.length t.sx in
+    if cap < n || (cap > 64 && cap > 4 * n) then begin
+      let c = n + (n / 2) in
+      t.sx <- Array.make c 0.;
+      t.sy <- Array.make c 0.;
+      t.sv <- Array.make c (Obj.repr ());
+      t.xs <- Array.make c 0.;
+      t.ys <- Array.make c 0.;
+      t.vs <- Array.make c (Obj.repr ())
     end;
     (* Pass 1: positions into scratch (in list order), cell bounding box. *)
     let minx = ref max_int and maxx = ref min_int in
@@ -102,7 +108,8 @@ let build (type a) (t : a t) ~(pos : a -> Vec2.t) (items : a list) =
     t.cols <- !maxx - !minx + 1;
     t.rows <- !maxy - !miny + 1;
     let ncells = t.cols * t.rows in
-    if Array.length t.start < ncells + 1 then begin
+    let scap = Array.length t.start in
+    if scap < ncells + 1 || (scap > 1024 && scap > 4 * (ncells + 1)) then begin
       t.start <- Array.make (ncells + 1) 0;
       t.cur <- Array.make (ncells + 1) 0
     end
@@ -156,3 +163,17 @@ let fold_disk t ~center ~radius f init =
   let acc = ref init in
   iter_disk t ~center ~radius (fun v -> acc := f !acc v);
   !acc
+
+type stats = { cells : int; occupied : int; max_occupancy : int }
+
+let stats t =
+  if t.cols = 0 then { cells = 0; occupied = 0; max_occupancy = 0 }
+  else begin
+    let occupied = ref 0 and max_occ = ref 0 in
+    for c = 0 to (t.cols * t.rows) - 1 do
+      let k = t.start.(c + 1) - t.start.(c) in
+      if k > 0 then incr occupied;
+      if k > !max_occ then max_occ := k
+    done;
+    { cells = t.cols * t.rows; occupied = !occupied; max_occupancy = !max_occ }
+  end

@@ -38,3 +38,10 @@ val iter_disk : 'a t -> center:Vec2.t -> radius:float -> ('a -> unit) -> unit
     [center, radius].  Visit order is unspecified. *)
 
 val fold_disk : 'a t -> center:Vec2.t -> radius:float -> ('b -> 'a -> 'b) -> 'b -> 'b
+
+type stats = { cells : int; occupied : int; max_occupancy : int }
+
+val stats : 'a t -> stats
+(** Cell-box size, occupied-cell count and the largest per-cell
+    population of the latest [build] — the spatial-index health gauges
+    surfaced through [Obs.Telemetry].  O(cells). *)

@@ -1,22 +1,42 @@
 (** Node mobility processes.
 
     A mobility process answers "where is this node at time [t]?".  Query
-    times must be non-decreasing for each process — the natural access
+    times should be non-decreasing for each process — the natural access
     pattern of a discrete-event simulation — which lets every model run in
     O(1) amortised time per query.
+
+    {b Re-query tolerance.}  Strict monotonicity is relaxed for the two
+    callers that legitimately look slightly backwards: PDES border
+    mirroring (a mirrored frame is propagated at the window edge while the
+    peer region has already advanced up to one lookahead) and churn rejoin
+    (a node re-attaching re-reads its position at the attach boundary).
+    Concretely, [position] accepts any query time [t] with
+    [t + max_backtrack >= depart] of the {e current} leg, where
+    [max_backtrack] is 1 ms — far above any conservative MAC lookahead
+    (difs + slot, ~70 us).  Same-leg re-queries ([t >= depart]) are
+    answered exactly; queries in the [max_backtrack] slack before the leg
+    clamp to the leg's start point, an error bounded by
+    [speed x max_backtrack] (millimetres at vehicular speeds).  Queries
+    older than that still raise [Invalid_argument].
 
     Models:
     - {!static}: the node never moves.
     - {!waypoint}: the random waypoint model used by the paper's scenarios
       (pause, pick a uniform destination, move at a uniform-random speed).
     - {!random_walk}: direction/epoch random walk with boundary
-      reflection; used by tests that want denser topology churn. *)
+      reflection; used by tests that want denser topology churn.
+    - {!manhattan}: city-block mobility on a street lattice — straight
+      through intersections with probability 1/2, left/right 1/4 each.
+    - {!rpgm_member}: reference-point group mobility — members follow a
+      shared waypoint group centre at a fixed per-member offset.
+    - {!scripted}: an explicit piecewise-linear trajectory (tests). *)
 
 type t
 
 val position : t -> Sim.Time.t -> Geom.Vec2.t
-(** Position at [t].  Raises [Invalid_argument] if [t] precedes an earlier
-    query on the same process. *)
+(** Position at [t].  Raises [Invalid_argument] if [t] precedes the
+    process's current leg by more than the backtrack tolerance documented
+    above. *)
 
 val model_name : t -> string
 
@@ -45,8 +65,82 @@ val random_walk :
 (** Fixed-speed walk choosing a fresh uniform direction every [epoch],
     reflecting off the terrain boundary. *)
 
+val manhattan :
+  terrain:Geom.Terrain.t ->
+  rng:Sim.Rng.t ->
+  spacing:float ->
+  speed_min:float ->
+  speed_max:float ->
+  pause:Sim.Time.t ->
+  start:Geom.Vec2.t ->
+  t
+(** Manhattan-grid mobility: the node moves along a street lattice with
+    [spacing] metres between streets.  [start] snaps to the nearest
+    intersection; each leg covers one block at a speed drawn uniformly
+    from [\[speed_min, speed_max\]]; at every intersection the node keeps
+    straight with probability 1/2 or turns left/right with probability 1/4
+    each (moves that would leave the terrain rotate until one fits).  A
+    positive [pause] is spent at each intersection. *)
+
 val scripted : (Sim.Time.t * Geom.Vec2.t) list -> t
 (** Piecewise-linear trajectory through the given (time, position)
     waypoints; constant before the first and after the last.  The list
     must be non-empty and strictly increasing in time.  Used by tests to
     force exact topology changes. *)
+
+(** {2 Group mobility (RPGM)} *)
+
+type group
+(** The virtual reference point of an RPGM group: a random-waypoint
+    process whose legs are memoized so members can follow it at different
+    leg indices (PDES shards refresh nodes at different times) without
+    non-monotone queries on shared state. *)
+
+val rpgm_group :
+  terrain:Geom.Terrain.t ->
+  rng:Sim.Rng.t ->
+  speed_min:float ->
+  speed_max:float ->
+  pause:Sim.Time.t ->
+  start:Geom.Vec2.t ->
+  group
+(** A group centre doing random waypoint over [terrain]. *)
+
+val rpgm_member : group -> ox:float -> oy:float -> t
+(** A member tracking the group centre at offset [(ox, oy)], clamped to
+    the group's terrain.  Members draw no randomness of their own, so any
+    subset of members replays identically. *)
+
+(** {2 Struct-of-arrays position store}
+
+    Flat preallocated per-node hot state: cached positions in unboxed
+    float arrays and the current leg window in parallel scalar arrays,
+    indexed by node id.  The common refresh — interpolating inside the
+    current leg — runs on scalars with zero allocation; values are
+    bit-identical to calling {!position} on the underlying process. *)
+
+module Pos_store : sig
+  type process := t
+  type t
+
+  val of_array : process array -> at:Sim.Time.t -> t
+  (** Wrap the processes, caching every node's position at [at]. *)
+
+  val length : t -> int
+
+  val refresh : t -> int -> Sim.Time.t -> unit
+  (** [refresh s i t] updates node [i]'s cached position to time [t]
+      (allocation-free unless the query advances the node onto a new
+      leg).  Repeated refreshes at the same time are free. *)
+
+  val x : t -> int -> float
+  (** Cached x as of the last {!refresh}. *)
+
+  val y : t -> int -> float
+
+  val position : t -> int -> Sim.Time.t -> Geom.Vec2.t
+  (** [refresh] then box the result — for callers that want a [Vec2]. *)
+
+  val proc : t -> int -> process
+  (** The underlying mobility process of node [i]. *)
+end

@@ -10,6 +10,10 @@ type rx = {
       (** receiver-to-transmitter distance, for capture (transiently
           holds the squared distance between candidate collection and
           the delivery pass) *)
+  mutable gain : float;
+      (** shadowing range factor of this link; exactly [1.] without a
+          link model, in which case the delivery pass is bit-identical
+          to the plain unit disk *)
   mutable corrupted : bool;
   mutable locked : bool;  (** this arrival captured the receiver *)
   mutable rx_radio : radio;
@@ -18,7 +22,11 @@ type rx = {
 and radio = {
   id : Node_id.t;
   seq : int;  (** attach order; fixes query ordering across index modes *)
+  idx : int;  (** SoA slot (node id); -1 when not backed by a store *)
   position : unit -> Geom.Vec2.t;
+  mutable attached : bool;
+      (** false while the node is down (churn): the radio is skipped as
+          a reception candidate and dropped from the spatial index *)
   mutable receive : Frame.t -> unit;
   mutable medium : bool -> unit;
   mutable busy_count : int;  (** in-range transmissions currently in the air *)
@@ -42,6 +50,7 @@ let rec no_rx =
   {
     rx_frame = dummy_frame;
     tx_dist = 0.;
+    gain = 1.;
     corrupted = true;
     locked = false;
     rx_radio = dummy_radio;
@@ -51,7 +60,9 @@ and dummy_radio =
   {
     id = Node_id.of_int 0;
     seq = -1;
+    idx = -1;
     position = (fun () -> dummy_pos);
+    attached = false;
     receive = ignore;
     medium = ignore;
     busy_count = 0;
@@ -64,12 +75,13 @@ let new_rx () =
   {
     rx_frame = dummy_frame;
     tx_dist = 0.;
+    gain = 1.;
     corrupted = false;
     locked = false;
     rx_radio = dummy_radio;
   }
 
-type mode = Naive | Grid
+type mode = Naive | Grid | Soa
 
 (* How far a radio's true position may drift from its bucketed position
    before the grid is rebuilt.  Queries are inflated by the current drift
@@ -100,7 +112,12 @@ and t = {
          for any mobility and still no worse than a naive scan. *)
   mutable radios : radio list;  (* newest first *)
   mutable next_seq : int;
+  mutable detached : int;  (* radios with [attached = false] *)
   grid : radio Geom.Grid.t;
+  world : world option;  (* Some iff [mode = Soa] *)
+  link : Link_model.t option;
+      (* None on the classic unit disk — the propagate fast path then
+         skips every per-candidate gain/wall lookup *)
   mutable grid_built_at : Time.t;
   mutable grid_fresh : bool;
   mutable hooks : (Node_id.t -> Frame.t -> unit) list;
@@ -116,7 +133,37 @@ and t = {
   mutable remote_grace : Time.t;
 }
 
-let create ~engine ?(mode = Grid) ?max_speed ?obs ~params () =
+(* SoA backing: positions come from the shared [Pos_store] planes and
+   cell membership is maintained incrementally (ids only; the exact
+   filter reads live store positions).  [w_radios] maps a store slot
+   back to its radio — [dummy_radio] until that slot attaches. *)
+and world = {
+  w_store : Mobility.Pos_store.t;
+  w_index : Geom.Cell_index.t;
+  w_radios : radio array;
+}
+
+let create ~engine ?(mode = Grid) ?max_speed ?obs ?world ?link ~params () =
+  (* Cell side = half the carrier-sense range: a CS-disk query scans
+     ~25 cells, but the cells hug the disk, so the candidate superset
+     is ~1.7x the true disk population (a full-range cell side gives
+     9 coarse cells and a ~2.9x superset — more wasted exact distance
+     checks per query, which dominate now that cells are one array
+     load each). *)
+  let cell = params.Params.cs_range_m /. 2. in
+  let world =
+    match (mode, world) with
+    | Soa, Some (store, width, height) ->
+        let n = Mobility.Pos_store.length store in
+        Some
+          {
+            w_store = store;
+            w_index = Geom.Cell_index.create ~cell ~width ~height ~ids:n;
+            w_radios = Array.make n dummy_radio;
+          }
+    | Soa, None -> invalid_arg "Channel.create: Soa mode needs a world"
+    | (Naive | Grid), _ -> None
+  in
   {
     engine;
     params;
@@ -124,13 +171,10 @@ let create ~engine ?(mode = Grid) ?max_speed ?obs ~params () =
     max_speed;
     radios = [];
     next_seq = 0;
-    (* Cell side = half the carrier-sense range: a CS-disk query scans
-       ~25 cells, but the cells hug the disk, so the candidate superset
-       is ~1.7x the true disk population (a full-range cell side gives
-       9 coarse cells and a ~2.9x superset — more wasted exact distance
-       checks per query, which dominate now that cells are one array
-       load each). *)
-    grid = Geom.Grid.create ~cell:(params.Params.cs_range_m /. 2.);
+    detached = 0;
+    grid = Geom.Grid.create ~cell;
+    world;
+    link;
     grid_built_at = Time.zero;
     grid_fresh = false;
     hooks = [];
@@ -156,12 +200,14 @@ let obs t = t.obs
 let frame_dst_int (f : Frame.t) =
   match f.dst with Frame.Broadcast -> -1 | Frame.Unicast d -> Node_id.to_int d
 
-let attach t ~id ~position =
+let attach t ?(idx = -1) ~id ~position () =
   let r =
     {
       id;
       seq = t.next_seq;
+      idx;
       position;
+      attached = true;
       receive = ignore;
       medium = ignore;
       busy_count = 0;
@@ -172,6 +218,10 @@ let attach t ~id ~position =
   in
   t.next_seq <- t.next_seq + 1;
   t.radios <- r :: t.radios;
+  (match t.world with
+  | Some w when idx >= 0 -> w.w_radios.(idx) <- r
+  | Some _ -> invalid_arg "Channel.attach: Soa mode needs a store slot (idx)"
+  | None -> ());
   t.grid_fresh <- false;
   r
 
@@ -217,7 +267,7 @@ let free_job t job =
    naive path appends in already-descending order (zero shifts); grid
    candidates arrive in cell order and insertion-sort into place, a
    handful of pointer rotations for the few radios a disk holds. *)
-let job_add job r d2 =
+let job_add job r d2 gain =
   let n = job.job_n in
   if n = Array.length job.job_rxs then
     job.job_rxs <-
@@ -232,6 +282,7 @@ let job_add job r d2 =
   rxs.(!i) <- spare;
   spare.rx_radio <- r;
   spare.tx_dist <- d2;
+  spare.gain <- gain;
   spare.corrupted <- false;
   spare.locked <- false;
   job.job_n <- n + 1
@@ -249,25 +300,82 @@ let drift_bound t =
       if Time.equal age Time.zero then 0. else v *. Time.to_sec age
 
 let rebuild_grid t =
-  Geom.Grid.build t.grid ~pos:(fun r -> r.position ()) t.radios;
+  let batch =
+    if t.detached = 0 then t.radios
+    else List.filter (fun r -> r.attached) t.radios
+  in
+  Geom.Grid.build t.grid ~pos:(fun r -> r.position ()) batch;
   t.grid_built_at <- Engine.now t.engine;
   t.grid_fresh <- true
 
-(* Rebuild the grid if stale; returns the post-rebuild drift bound so
+(* SoA resync: refresh every attached slot's store position in place
+   (a scalar lerp unless the leg advanced) and move it between cells
+   only when its cell changed — O(n) float work, no rebuild, no
+   allocation. *)
+let sweep_soa t w =
+  let now = Engine.now t.engine in
+  let store = w.w_store and index = w.w_index in
+  for i = 0 to Array.length w.w_radios - 1 do
+    let r = Array.unsafe_get w.w_radios i in
+    if r.attached then begin
+      Mobility.Pos_store.refresh store i now;
+      Geom.Cell_index.update index i ~x:(Mobility.Pos_store.x store i)
+        ~y:(Mobility.Pos_store.y store i)
+    end
+  done;
+  t.grid_built_at <- now;
+  t.grid_fresh <- true
+
+let resync t =
+  match t.world with Some w -> sweep_soa t w | None -> rebuild_grid t
+
+(* Resync the index if stale; returns the post-resync drift bound so
    queries pay for at most one clock-to-seconds conversion. *)
 let refresh t =
-  if not t.grid_fresh then rebuild_grid t;
+  if not t.grid_fresh then resync t;
   match t.max_speed with
   | None ->
-      if Time.(Engine.now t.engine > t.grid_built_at) then rebuild_grid t;
+      if Time.(Engine.now t.engine > t.grid_built_at) then resync t;
       0.
   | Some _ ->
       let b = drift_bound t in
       if b > slack_margin_m then begin
-        rebuild_grid t;
+        resync t;
         0.
       end
       else b
+
+(* Churn: a detached radio stops being a reception candidate in every
+   index mode and is dropped from the incremental index immediately;
+   frames already locked on it are discarded by the down-gated MAC.
+   Reattaching re-inserts it at its current position. *)
+let set_attached t r v =
+  if r.attached <> v then begin
+    r.attached <- v;
+    t.detached <- (if v then t.detached - 1 else t.detached + 1);
+    match t.world with
+    | Some w when r.idx >= 0 ->
+        if v then begin
+          Mobility.Pos_store.refresh w.w_store r.idx (Engine.now t.engine);
+          Geom.Cell_index.update w.w_index r.idx
+            ~x:(Mobility.Pos_store.x w.w_store r.idx)
+            ~y:(Mobility.Pos_store.y w.w_store r.idx)
+        end
+        else Geom.Cell_index.remove w.w_index r.idx
+    | Some _ | None -> t.grid_fresh <- false
+  end
+
+let attached r = r.attached
+
+(* Spatial-index health gauges (Obs.Telemetry). *)
+let index_stats t =
+  match (t.mode, t.world) with
+  | Soa, Some w ->
+      let s = Geom.Cell_index.stats w.w_index in
+      (s.Geom.Cell_index.cells, s.occupied, s.max_occupancy)
+  | _ ->
+      let s = Geom.Grid.stats t.grid in
+      (s.Geom.Grid.cells, s.occupied, s.max_occupancy)
 
 (* Grid queries visit each candidate exactly once, applying the exact
    range predicate against live positions; survivors are ordered by
@@ -284,20 +392,39 @@ let rec ins_radio x l =
 let neighbors_in_range t r =
   let center = r.position () in
   let rng2 = t.params.range_m *. t.params.range_m in
-  match t.mode with
-  | Naive ->
+  match (t.mode, t.world) with
+  | Naive, _ ->
       List.filter_map
         (fun other ->
-          if other != r && Geom.Vec2.dist2 center (other.position ()) <= rng2
+          if
+            other != r && other.attached
+            && Geom.Vec2.dist2 center (other.position ()) <= rng2
           then Some other.id
           else None)
         t.radios
-  | Grid ->
+  | (Grid | Soa), None ->
       let radius = t.params.range_m +. refresh t in
       let acc = ref [] in
       Geom.Grid.iter_disk t.grid ~center ~radius (fun other ->
-          if other != r && Geom.Vec2.dist2 center (other.position ()) <= rng2
+          if
+            other != r && other.attached
+            && Geom.Vec2.dist2 center (other.position ()) <= rng2
           then acc := ins_radio other !acc);
+      List.map (fun o -> o.id) !acc
+  | (Grid | Soa), Some w ->
+      let radius = t.params.range_m +. refresh t in
+      let now = Engine.now t.engine in
+      let acc = ref [] in
+      Geom.Cell_index.iter_disk w.w_index ~x:center.Geom.Vec2.x
+        ~y:center.Geom.Vec2.y ~radius (fun i ->
+          let other = w.w_radios.(i) in
+          if other != r && other.attached then begin
+            Mobility.Pos_store.refresh w.w_store i now;
+            let dx = Mobility.Pos_store.x w.w_store i -. center.Geom.Vec2.x
+            and dy = Mobility.Pos_store.y w.w_store i -. center.Geom.Vec2.y in
+            if (dx *. dx) +. (dy *. dy) <= rng2 then
+              acc := ins_radio other !acc
+          end);
       List.map (fun o -> o.id) !acc
 
 let add_transmit_hook t f = t.hooks <- t.hooks @ [ f ]
@@ -351,39 +478,93 @@ let end_of_tx job =
   job.job_src <- dummy_radio;
   free_job t job
 
-(* Shared propagation body: collect the touched radios around [src_pos],
-   resolve capture, and arm the end-of-transmission event.  [transmit]
-   runs it for a local transmission; [transmit_from] for the remote copy
-   of a cross-shard one (a phantom source radio standing in for a node
-   homed on another shard). *)
-let propagate t src src_pos frame ~duration =
+(* Shared propagation body: collect the touched radios around the
+   source position (scalars — no Vec2 box on this path), resolve
+   capture, and arm the end-of-transmission event.  [transmit] runs it
+   for a local transmission; [transmit_from] for the remote copy of a
+   cross-shard one (a phantom source radio standing in for a node homed
+   on another shard). *)
+let propagate t src ~sx ~sy frame ~duration =
   (* Touched radios are fixed at transmission start: node movement within
      one frame airtime (~2 ms) is a fraction of a millimetre.  Radios out
      to the carrier-sense range defer and suffer interference; only those
-     within decode range can receive the frame. *)
+     within decode range can receive the frame.  A shadowed pair's
+     ranges are both scaled by its gain; the partition wall absorbs the
+     crossing frame entirely. *)
   let cs2 = t.params.cs_range_m *. t.params.cs_range_m in
   let rng2 = t.params.range_m *. t.params.range_m in
   let job = alloc_job t in
   job.job_src <- src;
+  let link = t.link in
+  let now = Engine.now t.engine in
+  let src_int = Node_id.to_int src.id in
+  (* Candidate query disks are inflated by the largest possible gain so
+     the superset covers every shadowed-but-decodable pair; the exact
+     per-pair predicate below then decides.  Without a link model this
+     is exactly the old unit-disk collection, same float ops, same
+     order. *)
+  let inflate =
+    match link with None -> 1. | Some l -> Link_model.f_max l
+  in
   (* One distance computation per candidate, stashed squared in
      [tx_dist]; the delivery pass replaces it with [sqrt d2], which
      equals [Vec2.dist] bit-for-bit, so caching cannot change
      outcomes. *)
-  (match t.mode with
-  | Naive ->
-      List.iter
-        (fun r ->
-          if r != src then begin
-            let d2 = Geom.Vec2.dist2 src_pos (r.position ()) in
-            if d2 <= cs2 then job_add job r d2
-          end)
-        t.radios
-  | Grid ->
-      let radius = t.params.cs_range_m +. refresh t in
-      Geom.Grid.iter_disk t.grid ~center:src_pos ~radius (fun r ->
-          if r != src then begin
-            let d2 = Geom.Vec2.dist2 src_pos (r.position ()) in
-            if d2 <= cs2 then job_add job r d2
+  (match (t.mode, t.world) with
+  | Naive, _ | _, None -> (
+      match t.mode with
+      | Naive ->
+          List.iter
+            (fun r ->
+              if r != src && r.attached then begin
+                let p = r.position () in
+                let dx = p.Geom.Vec2.x -. sx and dy = p.Geom.Vec2.y -. sy in
+                let d2 = (dx *. dx) +. (dy *. dy) in
+                match link with
+                | None -> if d2 <= cs2 then job_add job r d2 1.
+                | Some l ->
+                    if not (Link_model.blocked l ~now ~x1:sx ~x2:p.Geom.Vec2.x)
+                    then begin
+                      let g = Link_model.gain l src_int (Node_id.to_int r.id) in
+                      if d2 <= cs2 *. (g *. g) then job_add job r d2 g
+                    end
+              end)
+            t.radios
+      | Grid | Soa ->
+          let radius = (t.params.cs_range_m *. inflate) +. refresh t in
+          Geom.Grid.iter_disk t.grid ~center:(Geom.Vec2.v sx sy) ~radius
+            (fun r ->
+              if r != src && r.attached then begin
+                let p = r.position () in
+                let dx = p.Geom.Vec2.x -. sx and dy = p.Geom.Vec2.y -. sy in
+                let d2 = (dx *. dx) +. (dy *. dy) in
+                match link with
+                | None -> if d2 <= cs2 then job_add job r d2 1.
+                | Some l ->
+                    if not (Link_model.blocked l ~now ~x1:sx ~x2:p.Geom.Vec2.x)
+                    then begin
+                      let g = Link_model.gain l src_int (Node_id.to_int r.id) in
+                      if d2 <= cs2 *. (g *. g) then job_add job r d2 g
+                    end
+              end))
+  | _, Some w ->
+      let radius = (t.params.cs_range_m *. inflate) +. refresh t in
+      let store = w.w_store in
+      Geom.Cell_index.iter_disk w.w_index ~x:sx ~y:sy ~radius (fun i ->
+          let r = Array.unsafe_get w.w_radios i in
+          if r != src && r.attached then begin
+            Mobility.Pos_store.refresh store i now;
+            let ox = Mobility.Pos_store.x store i
+            and oy = Mobility.Pos_store.y store i in
+            let dx = ox -. sx and dy = oy -. sy in
+            let d2 = (dx *. dx) +. (dy *. dy) in
+            match link with
+            | None -> if d2 <= cs2 then job_add job r d2 1.
+            | Some l ->
+                if not (Link_model.blocked l ~now ~x1:sx ~x2:ox) then begin
+                  let g = Link_model.gain l src_int (Node_id.to_int r.id) in
+                  if d2 <= cs2 *. (g *. g) then job_add job r d2 g
+                end
           end));
   let was_busy_src = carrier_busy src in
   src.tx_count <- src.tx_count + 1;
@@ -394,10 +575,15 @@ let propagate t src src_pos frame ~duration =
     let r = rx.rx_radio in
     mark_busy r;
     let d2 = rx.tx_dist in
+    let g = rx.gain in
+    (* Effective distance folds the shadowing gain in: capture compares
+       effective signal strengths.  [g = 1.] (no link model) leaves
+       every float untouched. *)
     let dist = sqrt d2 in
+    let dist = if g = 1. then dist else dist /. g in
     rx.tx_dist <- dist;
     rx.rx_frame <- frame;
-    let decodable = d2 <= rng2 in
+    let decodable = if g = 1. then d2 <= rng2 else d2 <= rng2 *. (g *. g) in
     (* A radio that is transmitting decodes nothing.  An overlap is
        resolved by the capture effect: the markedly closer (stronger)
        transmitter wins; comparable powers corrupt both frames. *)
@@ -435,7 +621,18 @@ let transmit t src frame ~duration =
       ~dst:(frame_dst_int frame) ~bytes:(Frame.encoded_length frame);
   src.crossed <-
     (match t.remote with None -> false | Some fn -> fn frame ~src ~duration);
-  propagate t src (src.position ()) frame ~duration
+  match t.world with
+  | Some w when src.idx >= 0 ->
+      (* SoA source: refresh the store row in place and read the scalar
+         planes — no Vec2 box per transmission. *)
+      Mobility.Pos_store.refresh w.w_store src.idx (Engine.now t.engine);
+      propagate t src
+        ~sx:(Mobility.Pos_store.x w.w_store src.idx)
+        ~sy:(Mobility.Pos_store.y w.w_store src.idx)
+        frame ~duration
+  | Some _ | None ->
+      let p = src.position () in
+      propagate t src ~sx:p.Geom.Vec2.x ~sy:p.Geom.Vec2.y frame ~duration
 
 (* Remote copy of a transmission whose source is homed on another shard.
    The phantom radio carries the source's id and position snapshot; it
@@ -447,7 +644,9 @@ let transmit_from t ~src_id ~pos frame ~duration =
     {
       id = src_id;
       seq = -2;
+      idx = -1;
       position = (fun () -> pos);
+      attached = true;
       receive = ignore;
       medium = ignore;
       busy_count = 0;
@@ -456,4 +655,4 @@ let transmit_from t ~src_id ~pos frame ~duration =
       crossed = false;
     }
   in
-  propagate t phantom pos frame ~duration
+  propagate t phantom ~sx:pos.Geom.Vec2.x ~sy:pos.Geom.Vec2.y frame ~duration

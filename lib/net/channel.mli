@@ -23,27 +23,59 @@ type radio
 type mode =
   | Naive  (** O(radios) scan per transmission — reference path *)
   | Grid  (** spatial-hash query of the cells overlapping the CS disk *)
+  | Soa
+      (** struct-of-arrays path: positions read from a shared
+          {!Mobility.Pos_store} and candidates from an incrementally
+          maintained {!Geom.Cell_index} — no per-query [Vec2] boxing
+          and no wholesale index rebuilds.  Candidate handling is
+          superset-invariant, so per-seed runs are byte-identical to
+          [Grid]/[Naive]. *)
 
 val create :
   engine:Sim.Engine.t -> ?mode:mode -> ?max_speed:float -> ?obs:Obs.Bus.t ->
+  ?world:Mobility.Pos_store.t * float * float -> ?link:Link_model.t ->
   params:Params.t -> unit -> t
 (** [create ~engine ~params] builds a channel using the [Grid] index.
     [obs] is the observability bus ({!Obs.Bus}) the channel (and the
     MACs attached to it) emit on; defaults to a fresh disabled bus.
-    [max_speed] is an upper bound (m/s) on any radio's speed: the grid is
-    rebuilt only when bucketed positions may have drifted past a fixed
-    margin, and queries are inflated by the current drift bound.  When
-    omitted, speeds are treated as unknown and the grid is rebuilt on
-    every clock advance — exact for any mobility, and never worse than
-    the naive scan. *)
+    [max_speed] is an upper bound (m/s) on any radio's speed: the index
+    is resynced only when bucketed positions may have drifted past a
+    fixed margin, and queries are inflated by the current drift bound.
+    When omitted, speeds are treated as unknown and the index is
+    resynced on every clock advance — exact for any mobility, and never
+    worse than the naive scan.
+
+    [world] is [(store, width, height)] — required by (and only by)
+    [Soa] mode: the position store shared with the runner plus the
+    arena bounds sizing the cell index.  [link] layers deterministic
+    shadowing and/or a partition wall on the unit disk
+    ({!Link_model}); omitted, the propagation fast path is the plain
+    unit disk, bit-identical to previous behaviour. *)
 
 val params : t -> Params.t
 
 val mode : t -> mode
 
-val attach : t -> id:Node_id.t -> position:(unit -> Geom.Vec2.t) -> radio
+val attach :
+  t -> ?idx:int -> id:Node_id.t -> position:(unit -> Geom.Vec2.t) -> unit ->
+  radio
 (** Register a node's radio.  [position] is queried at event times (it
-    must be safe to call with the engine's current clock). *)
+    must be safe to call with the engine's current clock).  [idx] is the
+    node's slot in the SoA store — required in [Soa] mode, ignored
+    otherwise. *)
+
+val set_attached : t -> radio -> bool -> unit
+(** Churn: [set_attached t r false] removes the radio from the candidate
+    set of every subsequent transmission (and from the incremental index
+    immediately); [true] re-inserts it at its current position.
+    In-flight receptions drain normally — the down-gated MAC discards
+    them. *)
+
+val attached : radio -> bool
+
+val index_stats : t -> int * int * int
+(** [(cells, occupied, max_occupancy)] of the live spatial index —
+    health gauges surfaced through [Obs.Telemetry]. *)
 
 val set_receiver : radio -> (Frame.t -> unit) -> unit
 (** Called with every frame the radio decodes, including frames addressed

@@ -37,6 +37,10 @@ let pop t =
     Some x
   end
 
+let clear t =
+  t.head <- 0;
+  t.len <- 0
+
 let length t = t.len
 let is_empty t = t.len = 0
 let drops t = t.drops

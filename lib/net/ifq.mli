@@ -8,7 +8,14 @@ val push : 'a t -> 'a -> bool
 (** False (and the element is dropped) when the queue is full. *)
 
 val pop : 'a t -> 'a option
+
+(** [clear t] discards every queued element (churn: a node going down
+    flushes its interface queue).  The drop counter is not advanced —
+    these are administrative removals, not congestion losses. *)
+val clear : 'a t -> unit
+
 val length : 'a t -> int
 val is_empty : 'a t -> bool
+
 val drops : 'a t -> int
 (** Count of elements rejected by {!push} so far. *)

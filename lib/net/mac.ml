@@ -45,8 +45,16 @@ type t = {
       (** cached ACK frame for [ack_to]; rebuilt only when the
           destination changes, so the steady ACK exchange between two
           talking nodes allocates nothing *)
-  mutable failures : int;
-  mutable sent : int;
+  (* Per-node scalar counters live in flat arrays at slot [six]: the
+     node's cells of the shared [Nodes] planes when created with
+     [~world], private one-cell arrays otherwise.  Either way the MAC
+     code is array writes — no branch on the backing. *)
+  sent_a : int array;
+  fail_a : int array;
+  qlen_a : int array;
+  qdrops_a : int array;
+  six : int;
+  mutable down : bool;  (** churn: node is powered off *)
   obs : Obs.Bus.t;  (* shared with the channel *)
 }
 
@@ -79,9 +87,10 @@ let emit_span t ~stage payload ~d ~e =
 let id t = t.my_id
 let queue_length t = Ifq.length t.queue
 let queue_drops t = Ifq.drops t.queue
-let unicast_failures t = t.failures
-let frames_sent t = t.sent
+let unicast_failures t = t.fail_a.(t.six)
+let frames_sent t = t.sent_a.(t.six)
 let radio t = t.radio
+let is_down t = t.down
 
 let payload_frame t pending =
   { Frame.src = t.my_id; dst = pending.dst; body = Frame.Payload pending.payload }
@@ -94,6 +103,7 @@ let rec dequeue_next t =
   match Ifq.pop t.queue with
   | None -> t.phase <- Idle
   | Some p ->
+      t.qlen_a.(t.six) <- Ifq.length t.queue;
       t.current <- Some p;
       t.attempts <- 1;
       t.cw <- t.params.cw_min;
@@ -119,7 +129,8 @@ and maybe_arm t =
 
 and access_expired t =
   t.access_timer <- Engine.none;
-  if Channel.busy t.channel t.radio then ()
+  if t.down then ()
+  else if Channel.busy t.channel t.radio then ()
     (* Lost the race with a same-instant transmission; the
        medium_changed(false) callback will re-arm us. *)
   else do_transmit t
@@ -129,7 +140,7 @@ and do_transmit t =
   | None -> assert false
   | Some p ->
       t.phase <- Sending;
-      t.sent <- t.sent + 1;
+      t.sent_a.(t.six) <- t.sent_a.(t.six) + 1;
       if Obs.Bus.on t.obs then
         emit_span t ~stage:Obs.Span.Stage.mac_try p.payload ~d:(-1)
           ~e:t.attempts;
@@ -138,12 +149,15 @@ and do_transmit t =
       Channel.transmit t.channel t.radio frame ~duration;
       ignore (Engine.after_fn t.engine duration tx_done t)
 
-(* [t.current] is pinned while Sending/Await_ack — only [finish] and
-   [retry]'s failure arm clear it — so reading it when the timer fires
-   sees the frame that was in the air. *)
+(* [t.current] is pinned while Sending/Await_ack — only [finish],
+   [retry]'s failure arm and [set_down] clear it — so reading it when
+   the timer fires sees the frame that was in the air; [None] here
+   means the node went down mid-transmission (the handle is discarded,
+   so down-gating happens at fire time). *)
 and tx_done t =
   match t.current with
-  | None -> assert false
+  | None -> ()
+  | Some _ when t.down -> ()
   | Some p -> (
       match p.dst with
       | Frame.Broadcast -> finish t
@@ -162,9 +176,11 @@ and tx_done t =
 
 and ack_timeout_expired t =
   t.ack_timer <- Engine.none;
-  match t.current with
-  | Some ({ dst = Frame.Unicast next_hop; _ } as p) -> retry t p next_hop
-  | Some { dst = Frame.Broadcast; _ } | None -> assert false
+  if t.down then ()
+  else
+    match t.current with
+    | Some ({ dst = Frame.Unicast next_hop; _ } as p) -> retry t p next_hop
+    | Some { dst = Frame.Broadcast; _ } | None -> assert false
 
 and finish t =
   (* Read the frame before clearing it — the span needs its id. *)
@@ -178,7 +194,7 @@ and finish t =
 
 and retry t p next_hop =
   if t.attempts >= t.params.retry_limit then begin
-    t.failures <- t.failures + 1;
+    t.fail_a.(t.six) <- t.fail_a.(t.six) + 1;
     if Obs.Bus.on t.obs then
       emit_span t ~stage:Obs.Span.Stage.mac_fail p.payload
         ~d:(Node_id.to_int next_hop) ~e:t.attempts;
@@ -208,7 +224,7 @@ let ack_received t from =
   | _ -> ()
 
 let send_ack_fire t =
-  if not (Channel.transmitting t.radio) then
+  if (not t.down) && not (Channel.transmitting t.radio) then
     Channel.transmit t.channel t.radio t.ack_frame
       ~duration:(Params.ack_airtime t.params)
 
@@ -222,6 +238,8 @@ let send_ack t ~to_ =
   ignore (Engine.after_fn t.engine t.params.sifs send_ack_fire t)
 
 let on_frame t (f : Frame.t) =
+  if t.down then ()
+  else
   match f.body with
   | Frame.Ack -> if Frame.addressed_to f t.my_id then ack_received t f.src
   | Frame.Payload payload -> (
@@ -236,7 +254,8 @@ let on_frame t (f : Frame.t) =
       | Frame.Unicast _ -> t.cb.promiscuous payload ~from:f.src ~dst:f.dst)
 
 let on_medium t busy =
-  if busy then begin
+  if t.down then ()
+  else if busy then begin
     if t.phase = Access && not (Engine.is_none t.access_timer) then begin
       Engine.cancel t.engine t.access_timer;
       t.access_timer <- Engine.none;
@@ -254,8 +273,19 @@ let on_medium t busy =
   end
   else maybe_arm t
 
-let create ~engine ~channel ~rng ~id ~position callbacks =
-  let radio = Channel.attach channel ~id ~position in
+let create ~engine ~channel ~rng ~id ~position ?world callbacks =
+  let sent_a, fail_a, qlen_a, qdrops_a, six, idx =
+    match world with
+    | Some (nodes, i) ->
+        ( Nodes.sent_plane nodes,
+          Nodes.failures_plane nodes,
+          Nodes.qlen_plane nodes,
+          Nodes.qdrops_plane nodes,
+          i,
+          i )
+    | None -> (Array.make 1 0, Array.make 1 0, Array.make 1 0, Array.make 1 0, 0, -1)
+  in
+  let radio = Channel.attach channel ~idx ~id ~position () in
   let t =
     {
       engine;
@@ -276,8 +306,12 @@ let create ~engine ~channel ~rng ~id ~position callbacks =
       ack_timer = Engine.none;
       ack_to = id;
       ack_frame = { Frame.src = id; dst = Frame.Unicast id; body = Frame.Ack };
-      failures = 0;
-      sent = 0;
+      sent_a;
+      fail_a;
+      qlen_a;
+      qdrops_a;
+      six;
+      down = false;
       obs = Channel.obs channel;
     }
   in
@@ -286,18 +320,52 @@ let create ~engine ~channel ~rng ~id ~position callbacks =
   t
 
 let send t ~dst payload =
-  let accepted = Ifq.push t.queue { payload; dst } in
-  if Obs.Bus.on t.obs then
-    if accepted then
-      emit_span t ~stage:Obs.Span.Stage.mac_enq payload ~d:(frame_dst_int dst)
-        ~e:(-1)
+  if t.down then ()
+  else begin
+    let accepted = Ifq.push t.queue { payload; dst } in
+    if accepted then t.qlen_a.(t.six) <- Ifq.length t.queue
+    else t.qdrops_a.(t.six) <- t.qdrops_a.(t.six) + 1;
+    if Obs.Bus.on t.obs then
+      if accepted then
+        emit_span t ~stage:Obs.Span.Stage.mac_enq payload ~d:(frame_dst_int dst)
+          ~e:(-1)
+      else begin
+        Obs.Bus.ifq_drop t.obs
+          ~time:(Engine.now t.engine)
+          ~node:(Node_id.to_int t.my_id)
+          ~cls:(Obs.Bus.intern t.obs (Payload.class_name payload))
+          ~dst:(frame_dst_int dst);
+        emit_span t ~stage:Obs.Span.Stage.mac_drop payload
+          ~d:(frame_dst_int dst) ~e:(-1)
+      end;
+    if accepted && t.phase = Idle && t.current = None then dequeue_next t
+  end
+
+(* Power the node down (flush the queue, kill the armed timers, release
+   any half-sent frame) or back up (clean CSMA state).  The radio's
+   channel-side detachment is the caller's job ([Channel.set_attached])
+   so both transitions stay in one place in the runner. *)
+let set_down t v =
+  if t.down <> v then
+    if v then begin
+      t.down <- true;
+      Ifq.clear t.queue;
+      t.qlen_a.(t.six) <- 0;
+      t.current <- None;
+      t.phase <- Idle;
+      if not (Engine.is_none t.access_timer) then begin
+        Engine.cancel t.engine t.access_timer;
+        t.access_timer <- Engine.none
+      end;
+      if not (Engine.is_none t.ack_timer) then begin
+        Engine.cancel t.engine t.ack_timer;
+        t.ack_timer <- Engine.none
+      end
+    end
     else begin
-      Obs.Bus.ifq_drop t.obs
-        ~time:(Engine.now t.engine)
-        ~node:(Node_id.to_int t.my_id)
-        ~cls:(Obs.Bus.intern t.obs (Payload.class_name payload))
-        ~dst:(frame_dst_int dst);
-      emit_span t ~stage:Obs.Span.Stage.mac_drop payload
-        ~d:(frame_dst_int dst) ~e:(-1)
-    end;
-  if accepted && t.phase = Idle && t.current = None then dequeue_next t
+      t.down <- false;
+      t.phase <- Idle;
+      t.attempts <- 0;
+      t.cw <- t.params.cw_min;
+      t.slots <- 0
+    end

@@ -28,11 +28,26 @@ val create :
   rng:Sim.Rng.t ->
   id:Node_id.t ->
   position:(unit -> Geom.Vec2.t) ->
+  ?world:Nodes.t * int ->
   callbacks ->
   t
+(** [world] is the shared SoA state and this node's slot: the MAC then
+    writes its sent/failure/queue counters through the flat [Nodes]
+    planes (and registers its radio under that store slot), instead of
+    private record fields. *)
 
 val send : t -> dst:Frame.dst -> Packets.Payload.t -> unit
-(** Enqueue a frame.  Silently dropped (counted) if the queue is full. *)
+(** Enqueue a frame.  Silently dropped (counted) if the queue is full.
+    Ignored while the node is down. *)
+
+val set_down : t -> bool -> unit
+(** Churn power toggle.  Going down flushes the interface queue, cancels
+    the armed CSMA/ACK timers and discards any half-sent frame (no link
+    failure is reported — the node died, the link did not).  Going up
+    restores a clean idle MAC.  Pair with [Channel.set_attached] so the
+    radio also stops receiving. *)
+
+val is_down : t -> bool
 
 val id : t -> Node_id.t
 val queue_length : t -> int

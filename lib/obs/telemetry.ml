@@ -55,7 +55,7 @@ let gc_words pdes =
 
 let rate dt prev cur = if dt <= 0. then 0. else float_of_int (cur - prev) /. dt
 
-let write_jsonl t oc ~time ~(domains : domain array) ~pdes ~wall ~dt =
+let write_jsonl t oc ~time ~(domains : domain array) ~pdes ~grid ~wall ~dt =
   let buf = Buffer.create 256 in
   Buffer.add_char buf '{';
   Printf.bprintf buf "\"t\":%d,\"wall_s\":%.6f" (time : Sim.Time.t :> int)
@@ -83,6 +83,12 @@ let write_jsonl t oc ~time ~(domains : domain array) ~pdes ~wall ~dt =
         ",\"pdes_windows\":%d,\"pdes_utilization\":%.4f,\"pdes_mirrors\":%d"
         p.pg_windows p.pg_utilization p.pg_mirrors
   | None -> ());
+  (match grid with
+  | Some (cells, occupied, max_occ) ->
+      Printf.bprintf buf
+        ",\"grid_cells\":%d,\"grid_occupied\":%d,\"grid_max_occupancy\":%d"
+        cells occupied max_occ
+  | None -> ());
   let minor, promoted = gc_words pdes in
   Printf.bprintf buf ",\"gc_minor_words\":%.0f,\"gc_promoted_words\":%.0f"
     minor promoted;
@@ -91,7 +97,7 @@ let write_jsonl t oc ~time ~(domains : domain array) ~pdes ~wall ~dt =
   Buffer.output_buffer oc buf;
   flush oc
 
-let write_prom t path ~time ~(domains : domain array) ~pdes ~dt =
+let write_prom t path ~time ~(domains : domain array) ~pdes ~grid ~dt =
   let buf = Buffer.create 1024 in
   let gauge name v =
     Printf.bprintf buf "# TYPE %s gauge\n%s %s\n" name name v
@@ -135,6 +141,15 @@ let write_prom t path ~time ~(domains : domain array) ~pdes ~dt =
       Printf.bprintf buf "# TYPE manet_pdes_border_mirrors_total counter\n";
       Printf.bprintf buf "manet_pdes_border_mirrors_total %d\n" p.pg_mirrors
   | None -> ());
+  (match grid with
+  | Some (cells, occupied, max_occ) ->
+      Printf.bprintf buf "# TYPE manet_grid_cells gauge\n";
+      Printf.bprintf buf "manet_grid_cells %d\n" cells;
+      Printf.bprintf buf "# TYPE manet_grid_occupied_cells gauge\n";
+      Printf.bprintf buf "manet_grid_occupied_cells %d\n" occupied;
+      Printf.bprintf buf "# TYPE manet_grid_max_occupancy gauge\n";
+      Printf.bprintf buf "manet_grid_max_occupancy %d\n" max_occ
+  | None -> ());
   let minor, promoted = gc_words pdes in
   Printf.bprintf buf "# TYPE manet_gc_minor_words_total counter\n";
   Printf.bprintf buf "manet_gc_minor_words_total %.0f\n" minor;
@@ -148,14 +163,14 @@ let write_prom t path ~time ~(domains : domain array) ~pdes ~dt =
   close_out oc;
   Sys.rename tmp path
 
-let record t ~time ~domains ?pdes () =
+let record t ~time ~domains ?pdes ?grid () =
   let wall = Unix.gettimeofday () in
   let dt = wall -. t.prev_wall in
   (match t.jsonl with
-  | Some oc -> write_jsonl t oc ~time ~domains ~pdes ~wall ~dt
+  | Some oc -> write_jsonl t oc ~time ~domains ~pdes ~grid ~wall ~dt
   | None -> ());
   (match t.prom with
-  | Some path -> write_prom t path ~time ~domains ~pdes ~dt
+  | Some path -> write_prom t path ~time ~domains ~pdes ~grid ~dt
   | None -> ());
   t.prev_wall <- wall;
   if Array.length t.prev_fired <> Array.length domains then

@@ -34,11 +34,16 @@ val create : ?jsonl:string -> ?prom:string -> unit -> t
     path.  At least one output should be given for the collector to be
     useful; with neither it is inert. *)
 
-val record : t -> time:Sim.Time.t -> domains:domain array -> ?pdes:pdes_gauges -> unit -> unit
+val record :
+  t -> time:Sim.Time.t -> domains:domain array -> ?pdes:pdes_gauges ->
+  ?grid:int * int * int -> unit -> unit
 (** Take one sample at virtual time [time]: append a JSONL line and
     atomically rewrite the Prometheus snapshot (write-temp-then-rename,
     so scrapers never see a torn file).  Event rates are computed
-    against the previous sample's wall clock and fired counts. *)
+    against the previous sample's wall clock and fired counts.
+    [grid] is the channel spatial index's [(cells, occupied,
+    max_occupancy)] ({!Net.Channel.index_stats}) — classic runs only;
+    a sharded run has one index per region and omits it. *)
 
 val close : t -> unit
 (** Flush and close the JSONL stream (the snapshot file needs no

@@ -401,6 +401,24 @@ let start t () =
     ~interval:t.cfg.tc_interval ~until:horizon
     (fun () -> emit_tc t)
 
+(* Churn teardown (Agent.reset): drop the whole link-state view.  The
+   jitter queue is emptied but [draining] is left alone — an armed drain
+   event finds an empty queue and stops.  A crash also resets ANSN and
+   the message sequence, as both live in volatile memory. *)
+let reset t ~crash =
+  Node_id.Table.reset t.links;
+  Node_id.Table.reset t.topology;
+  Routing.Rreq_cache.clear t.dups;
+  t.mprs <- Node_id.Set.empty;
+  t.routes <- Node_id.Map.empty;
+  t.routes_dirty <- true;
+  Queue.clear t.queue.jq;
+  t.ctx.table_changed ();
+  if crash then begin
+    t.ansn <- 0;
+    t.msg_seq <- 0
+  end
+
 let factory ?(config = default_config) () (ctx : RA.ctx) =
   let t =
     {
@@ -430,4 +448,5 @@ let factory ?(config = default_config) () (ctx : RA.ctx) =
     own_seqno = (fun () -> 0.);
     invariants = (fun _ -> None);
     route_stats = (fun () -> (Node_id.Map.cardinal t.routes, 0, 0));
+    reset = (fun ~crash -> reset t ~crash);
   }

@@ -22,6 +22,7 @@ type t = {
   own_seqno : unit -> float;
   invariants : Node_id.t -> Obs.Event.inv option;
   route_stats : unit -> int * int * int;
+  reset : crash:bool -> unit;
 }
 
 type factory = ctx -> t

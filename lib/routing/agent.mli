@@ -58,6 +58,15 @@ type t = {
       (** [(entries, finite_fd_count, fd_sum)] over the route table —
           gauges for the time-series sampler.  Protocols without
           feasible distances report zeros for the last two. *)
+  reset : crash:bool -> unit;
+      (** churn teardown: the node went down.  Routes are invalidated
+          through observable table writes, buffered data is dropped
+          (reported), pending discoveries are cancelled and duplicate
+          caches emptied.  [crash = true] additionally loses state a
+          real implementation keeps in volatile memory — notably the
+          node's own sequence number, the van Glabbeek et al. stressor
+          for seqno-based loop freedom.  [crash = false] models a
+          graceful leave/rejoin that remembers its number. *)
 }
 
 type factory = ctx -> t

@@ -268,4 +268,16 @@ let wrap ?(config = default) (inner_factory : RA.factory) : RA.factory =
     }
   in
   let inner = inner_factory { ctx with send = intercept_send t } in
-  { inner with RA.recv = (fun payload ~from -> recv t inner payload ~from) }
+  {
+    inner with
+    RA.recv = (fun payload ~from -> recv t inner payload ~from);
+    (* Churn: drop the wrapper's own volatile state (batched requests,
+       reverse paths, suppression memory) before the inner teardown.  An
+       armed flush finds an empty batch and does nothing. *)
+    reset =
+      (fun ~crash ->
+        t.batch <- [];
+        Node_id.Table.reset t.recent;
+        Rreq_cache.clear t.rev;
+        inner.RA.reset ~crash);
+  }

@@ -119,6 +119,12 @@ let take t dst =
 let drop_all t dst ~reason =
   List.iter (fun msg -> t.on_drop msg ~reason) (take t dst)
 
+(* Churn teardown: every buffered packet for every destination is a
+   metrics-visible drop (the node died holding them). *)
+let clear t ~reason =
+  let dsts = Node_id.Table.fold (fun dst _ acc -> dst :: acc) t.by_dst [] in
+  List.iter (fun dst -> drop_all t dst ~reason) dsts
+
 let pending t dst =
   match Node_id.Table.find_opt t.by_dst dst with
   | None -> false

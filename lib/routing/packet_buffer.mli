@@ -31,6 +31,10 @@ val take : t -> Node_id.t -> Data_msg.t list
 val drop_all : t -> Node_id.t -> reason:string -> unit
 (** Discard (and report) everything held for a destination. *)
 
+val clear : t -> reason:string -> unit
+(** Discard (and report) every buffered packet for every destination —
+    churn teardown when the holding node goes down. *)
+
 val pending : t -> Node_id.t -> bool
 val length : t -> int
 

@@ -75,6 +75,10 @@ let update t ~origin ~rreq_id f =
   | Some _ -> Hashtbl.remove t.table k
   | None -> ()
 
+let clear t =
+  Hashtbl.reset t.table;
+  t.ops_since_purge <- 0
+
 let length t =
   purge t;
   Hashtbl.length t.table

@@ -24,4 +24,7 @@ val update : 'a t -> origin:Node_id.t -> rreq_id:int -> ('a -> 'a) -> unit
 (** Applies [f] to a live entry; no-op if absent.  Does not refresh the
     expiry. *)
 
+val clear : 'a t -> unit
+(** Drop every entry — churn teardown of a node's volatile state. *)
+
 val length : 'a t -> int

@@ -239,6 +239,11 @@ let scenario ?(seed = 7) ?(duration = 30.) () =
     naive_channel = false;
     heap_scheduler = false;
     shards = 1;
+    mobility = Experiment.Scenario.Waypoint;
+    shadowing = None;
+    churn = None;
+    partition = None;
+    soa = false;
   }
 
 (* A healthy LDR-AGG run must keep the monitor silent: the wrapper may

@@ -89,6 +89,84 @@ let clamp_idempotent =
       let c = Terrain.clamp t p in
       Terrain.contains t c && Vec2.equal c (Terrain.clamp t c))
 
+(* ---- Cell_index -------------------------------------------------------- *)
+
+let ci_members t ~x ~y ~radius =
+  let acc = ref [] in
+  Cell_index.iter_disk t ~x ~y ~radius (fun i -> acc := i :: !acc);
+  List.sort compare !acc
+
+let cell_index_basic () =
+  let t = Cell_index.create ~cell:10. ~width:100. ~height:50. ~ids:8 in
+  checkb "empty" true (Cell_index.population t = 0);
+  Cell_index.update t 0 ~x:5. ~y:5.;
+  Cell_index.update t 1 ~x:6. ~y:6.;
+  Cell_index.update t 2 ~x:95. ~y:45.;
+  checkb "population" true (Cell_index.population t = 3);
+  checkb "mem" true (Cell_index.mem t 1);
+  checkb "not mem" false (Cell_index.mem t 3);
+  (* Superset contract: everything within the radius is visited. *)
+  checkb "disk covers near members" true
+    (ci_members t ~x:5. ~y:5. ~radius:3. = [ 0; 1 ]);
+  checkb "far member not in small disk" true
+    (not (List.mem 2 (ci_members t ~x:5. ~y:5. ~radius:20.)))
+
+let cell_index_move_remove () =
+  let t = Cell_index.create ~cell:10. ~width:100. ~height:50. ~ids:4 in
+  Cell_index.update t 0 ~x:5. ~y:5.;
+  (* Same-cell move is a no-op; cross-cell move relocates. *)
+  Cell_index.update t 0 ~x:7. ~y:8.;
+  checkb "still one member" true (Cell_index.population t = 1);
+  Cell_index.update t 0 ~x:95. ~y:45.;
+  checkb "left old cell" true (ci_members t ~x:5. ~y:5. ~radius:4. = []);
+  checkb "entered new cell" true
+    (List.mem 0 (ci_members t ~x:95. ~y:45. ~radius:4.));
+  Cell_index.remove t 0;
+  checkb "removed" false (Cell_index.mem t 0);
+  Cell_index.remove t 0;
+  (* double remove is a no-op *)
+  checkb "empty again" true (Cell_index.population t = 0);
+  (* Positions outside the arena clamp to border cells, never crash. *)
+  Cell_index.update t 1 ~x:(-10.) ~y:500.;
+  checkb "clamped member findable" true
+    (List.mem 1 (ci_members t ~x:0. ~y:50. ~radius:15.))
+
+let cell_index_vs_naive =
+  (* Randomized walks: iter_disk is always a superset of the true disk
+     population, and stats stay coherent. *)
+  QCheck.Test.make ~name:"iter_disk superset of true disk" ~count:100
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Sim.Rng.create (seed + 1) in
+      let n = 40 in
+      let t = Cell_index.create ~cell:25. ~width:200. ~height:100. ~ids:n in
+      let xs = Array.make n 0. and ys = Array.make n 0. in
+      for i = 0 to n - 1 do
+        xs.(i) <- Sim.Rng.float rng 200.;
+        ys.(i) <- Sim.Rng.float rng 100.;
+        Cell_index.update t i ~x:xs.(i) ~y:ys.(i)
+      done;
+      (* a couple of random moves *)
+      for _ = 1 to 20 do
+        let i = Sim.Rng.int rng n in
+        xs.(i) <- Sim.Rng.float rng 200.;
+        ys.(i) <- Sim.Rng.float rng 100.;
+        Cell_index.update t i ~x:xs.(i) ~y:ys.(i)
+      done;
+      let qx = Sim.Rng.float rng 200. and qy = Sim.Rng.float rng 100. in
+      let radius = 30. in
+      let visited = ci_members t ~x:qx ~y:qy ~radius in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let dx = xs.(i) -. qx and dy = ys.(i) -. qy in
+        if (dx *. dx) +. (dy *. dy) <= radius *. radius then
+          ok := !ok && List.mem i visited
+      done;
+      let s = Cell_index.stats t in
+      !ok && s.Cell_index.occupied <= s.Cell_index.cells
+      && s.Cell_index.max_occupancy <= n
+      && Cell_index.population t = n)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "geom"
@@ -109,5 +187,11 @@ let () =
           Alcotest.test_case "invalid" `Quick terrain_invalid;
           Alcotest.test_case "measures" `Quick terrain_measures;
           qt clamp_idempotent;
+        ] );
+      ( "cell-index",
+        [
+          Alcotest.test_case "basics" `Quick cell_index_basic;
+          Alcotest.test_case "move/remove/clamp" `Quick cell_index_move_remove;
+          qt cell_index_vs_naive;
         ] );
     ]

@@ -69,16 +69,29 @@ let waypoint_eventually_moves () =
   let p = Mobility.position m (Time.sec 60.) in
   checkb "moved by 60s" false (Geom.Vec2.equal p start)
 
+(* Re-query tolerance (see the .mli): same-leg re-queries are exact,
+   queries within the 1 ms backtrack slack before the current leg clamp
+   to its start, and anything older still raises. *)
 let monotonicity_enforced () =
   let rng = Rng.create 11 in
   let m =
     Mobility.waypoint ~terrain ~rng ~speed_min:1. ~speed_max:2.
       ~pause:(Time.sec 1.) ~start:(Geom.Vec2.v 0. 0.)
   in
-  ignore (Mobility.position m (Time.sec 10.));
-  Alcotest.check_raises "backwards query"
-    (Invalid_argument "Mobility.position: query times must be non-decreasing")
-    (fun () -> ignore (Mobility.position m (Time.sec 5.)))
+  (* Advance well into a motion leg (pause ends at 1s, legs are tens of
+     seconds at 1-2 m/s), then re-query earlier inside the same leg. *)
+  let p10 = Mobility.position m (Time.sec 10.) in
+  let p5 = Mobility.position m (Time.sec 5.) in
+  let p10' = Mobility.position m (Time.sec 10.) in
+  checkb "same-leg re-query exact" true (Geom.Vec2.equal p10 p10');
+  checkb "re-query differs mid-leg" false (Geom.Vec2.equal p5 p10);
+  (* Forward progress still works after a backwards excursion. *)
+  ignore (Mobility.position m (Time.sec 12.));
+  Alcotest.check_raises "query older than the tolerance"
+    (Invalid_argument
+       "Mobility.position: query precedes the current leg by more than the \
+        backtrack tolerance")
+    (fun () -> ignore (Mobility.position m (Time.sec 0.5)))
 
 let random_walk_in_terrain () =
   let rng = Rng.create 13 in
@@ -126,6 +139,100 @@ let waypoint_validation () =
         (Mobility.waypoint ~terrain ~rng:(Rng.create 1) ~speed_min:0.
            ~speed_max:5. ~pause:Time.zero ~start:Geom.Vec2.zero))
 
+(* ---- Manhattan-grid mobility ------------------------------------------ *)
+
+let on_lattice ~spacing p =
+  let near v = Float.rem v spacing < 1e-6 || spacing -. Float.rem v spacing < 1e-6 in
+  near p.Geom.Vec2.x || near p.Geom.Vec2.y
+
+let manhattan_on_streets () =
+  let spacing = 100. in
+  let rng = Rng.create 21 in
+  let m =
+    Mobility.manhattan ~terrain ~rng ~spacing ~speed_min:5. ~speed_max:15.
+      ~pause:Time.zero ~start:(Geom.Vec2.v 333. 212.)
+  in
+  (* Every position lies on a street: one coordinate is (nearly) a
+     multiple of the spacing. *)
+  for t = 0 to 400 do
+    let p = Mobility.position m (Time.sec (float_of_int t)) in
+    checkb "inside terrain" true (Geom.Terrain.contains terrain p);
+    checkb "on a street" true (on_lattice ~spacing p)
+  done
+
+let manhattan_speed_bound () =
+  let rng = Rng.create 22 in
+  let m =
+    Mobility.manhattan ~terrain ~rng ~spacing:50. ~speed_min:1. ~speed_max:10.
+      ~pause:Time.zero ~start:(Geom.Vec2.v 500. 250.)
+  in
+  let prev = ref (Mobility.position m Time.zero) in
+  let dt = 0.5 in
+  for i = 1 to 1000 do
+    let p = Mobility.position m (Time.sec (dt *. float_of_int i)) in
+    checkb "bounded speed" true (Geom.Vec2.dist !prev p <= (10. *. dt) +. 1e-6);
+    prev := p
+  done
+
+let manhattan_moves () =
+  let rng = Rng.create 23 in
+  let start = Geom.Vec2.v 200. 200. in
+  let m =
+    Mobility.manhattan ~terrain ~rng ~spacing:100. ~speed_min:5. ~speed_max:5.
+      ~pause:Time.zero ~start
+  in
+  checkb "moved by 60s" false
+    (Geom.Vec2.equal (Mobility.position m (Time.sec 60.)) start)
+
+(* ---- RPGM group mobility ----------------------------------------------- *)
+
+let rpgm_members_cohere () =
+  let rng = Rng.create 31 in
+  let radius = 40. in
+  let g =
+    Mobility.rpgm_group ~terrain ~rng:(Rng.split rng) ~speed_min:2.
+      ~speed_max:10. ~pause:(Time.sec 1.) ~start:(Geom.Vec2.v 500. 250.)
+  in
+  let members =
+    List.map
+      (fun (ox, oy) -> Mobility.rpgm_member g ~ox ~oy)
+      [ (0., 0.); (radius, 0.); (0., -.radius); (-20., 30.) ]
+  in
+  (* Members stay within the offset radius of each other (the group
+     centre is shared), up to terrain clamping, and inside the arena. *)
+  for t = 0 to 200 do
+    let time = Time.sec (float_of_int t) in
+    let ps = List.map (fun m -> Mobility.position m time) members in
+    List.iter
+      (fun p -> checkb "member inside terrain" true (Geom.Terrain.contains terrain p))
+      ps;
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            checkb "group coheres" true (Geom.Vec2.dist a b <= (2. *. radius) +. 1e-6))
+          ps)
+      ps
+  done
+
+let rpgm_out_of_order_members () =
+  (* Two members of one group queried at different times (the PDES
+     access pattern): the shared centre's legs are memoized, so neither
+     query perturbs the other. *)
+  let rng = Rng.create 32 in
+  let g =
+    Mobility.rpgm_group ~terrain ~rng ~speed_min:5. ~speed_max:10.
+      ~pause:Time.zero ~start:(Geom.Vec2.v 100. 100.)
+  in
+  let a = Mobility.rpgm_member g ~ox:10. ~oy:0. in
+  let b = Mobility.rpgm_member g ~ox:10. ~oy:0. in
+  (* advance [a] far ahead, then query [b] from the start *)
+  let pa60 = Mobility.position a (Time.sec 60.) in
+  let pb10 = Mobility.position b (Time.sec 10.) in
+  let pb60 = Mobility.position b (Time.sec 60.) in
+  checkb "same offset, same position at 60s" true (Geom.Vec2.equal pa60 pb60);
+  checkb "b's early query answered" true (Geom.Terrain.contains terrain pb10)
+
 (* qcheck: waypoint containment for arbitrary seeds and query sequences. *)
 let waypoint_contained_prop =
   QCheck.Test.make ~name:"waypoint always inside terrain" ~count:50
@@ -160,5 +267,16 @@ let () =
           Alcotest.test_case "scripted validation" `Quick scripted_validation;
           Alcotest.test_case "waypoint validation" `Quick waypoint_validation;
           qt waypoint_contained_prop;
+        ] );
+      ( "manhattan",
+        [
+          Alcotest.test_case "stays on streets" `Quick manhattan_on_streets;
+          Alcotest.test_case "speed bound" `Quick manhattan_speed_bound;
+          Alcotest.test_case "moves" `Quick manhattan_moves;
+        ] );
+      ( "rpgm",
+        [
+          Alcotest.test_case "group coheres" `Quick rpgm_members_cohere;
+          Alcotest.test_case "out-of-order members" `Quick rpgm_out_of_order_members;
         ] );
     ]

@@ -56,6 +56,11 @@ let small_scenario ?(seed = 7) ?(audit = false) ?(speed_max = 10.)
     naive_channel = false;
     heap_scheduler = false;
     shards = 1;
+    mobility = Scenario.Waypoint;
+    shadowing = None;
+    churn = None;
+    partition = None;
+    soa = false;
   }
 
 (* ---- executor ---------------------------------------------------------- *)

@@ -48,6 +48,11 @@ let border_free ?(seed = 11) ?(shards = 1) () =
     naive_channel = false;
     heap_scheduler = false;
     shards;
+    mobility = Scenario.Waypoint;
+    shadowing = None;
+    churn = None;
+    partition = None;
+    soa = false;
   }
 
 let with_tmp suffix f =
@@ -149,7 +154,14 @@ let expect_names ~pdes =
          "manet_pdes_window_utilization";
          "manet_pdes_windows_total";
        ]
-     else [])
+     else
+       (* The spatial-index gauges ride the classic sampler only: a
+          sharded run has one index per region. *)
+       [
+         "manet_grid_cells";
+         "manet_grid_occupied_cells";
+         "manet_grid_max_occupancy";
+       ])
   |> List.sort String.compare
 
 let telemetry_classic () =
